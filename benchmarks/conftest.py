@@ -1,0 +1,47 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures at a reduced
+scale (shorter virtual duration, fewer clients) so the whole harness runs in a
+few minutes.  The scale can be raised with environment variables for closer
+comparisons:
+
+* ``REPRO_BENCH_DURATION_MS`` — virtual milliseconds of load per experiment
+  (default 2500; the paper runs ~60 000).
+* ``REPRO_BENCH_CLIENTS`` — number of closed-loop clients (default 24; the
+  paper uses 240 for latency experiments).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.scenarios import Scale
+
+
+def _env_float(name: str, default: float) -> float:
+    try:
+        return float(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> Scale:
+    """Scaled-down experiment size used by all figure benchmarks."""
+    return Scale(
+        duration_ms=_env_float("REPRO_BENCH_DURATION_MS", 2_500.0),
+        num_clients=int(_env_float("REPRO_BENCH_CLIENTS", 24)),
+        seed=1,
+    )
+
+
+@pytest.fixture(scope="session")
+def quick_scale() -> Scale:
+    """Even smaller scale for the many-experiment sweeps (Figures 6, 7, 9)."""
+    return Scale(
+        duration_ms=_env_float("REPRO_BENCH_DURATION_MS", 2_000.0),
+        num_clients=int(_env_float("REPRO_BENCH_CLIENTS", 24)),
+        seed=1,
+    )

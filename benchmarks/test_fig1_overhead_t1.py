@@ -1,0 +1,37 @@
+"""Figure 1 — communication overhead per group (hierarchical T1, 90% locality).
+
+Paper reference values: groups incur ~10% overhead on average; the two
+continental subtree roots suffer the most (about 23% and 36%); leaves have
+none.  The benchmark regenerates the per-group series and checks that shape.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure1
+from repro.overlay.builders import build_t1
+from repro.sim.latencies import aws_latency_matrix
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_hierarchical_overhead(benchmark, bench_scale):
+    result = benchmark.pedantic(figure1, args=(bench_scale,), rounds=1, iterations=1)
+    print("\n" + result.text)
+
+    overhead = result.data["overhead_percent_by_group"]
+    tree = build_t1(aws_latency_matrix())
+
+    # Leaves never relay messages, so they have zero overhead.
+    for group in tree.groups:
+        if tree.is_leaf(group):
+            assert overhead[group] == pytest.approx(0.0, abs=1e-9)
+
+    # Some inner groups do relay: the average is positive and within the same
+    # order of magnitude as the paper's ~10%.
+    assert result.data["mean_percent"] > 1.0
+    assert result.data["mean_percent"] < 40.0
+
+    # The worst-hit group is an inner group with substantially more overhead
+    # than the average (paper: 36% vs 9.2% mean).
+    assert result.data["max_percent"] > result.data["mean_percent"]
+    worst = max(overhead, key=overhead.get)
+    assert not tree.is_leaf(worst)

@@ -1,0 +1,50 @@
+"""Figure 5 / Table 2 — per-destination latency when varying the overlay.
+
+Paper reference (90% locality, 90th percentile): FlexCast is very sensitive to
+the chosen C-DAG (O1 vs O2); the hierarchical trees are much less sensitive to
+the chosen tree, and T3 (the star) is the slowest tree because every message
+crosses its root.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure5_table2
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_table2_overlays(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        figure5_table2, args=(bench_scale,), rounds=1, iterations=1
+    )
+    print("\n" + result.text)
+    tables = result.data["percentiles"]
+
+    assert set(tables) == {
+        "FlexCast O1",
+        "FlexCast O2",
+        "Hierarchical T1",
+        "Hierarchical T2",
+        "Hierarchical T3",
+    }
+    # Every configuration produced 1st and 2nd destination data.
+    for label, table in tables.items():
+        assert 1 in table and 2 in table, label
+        assert table[1][90] > 0
+
+    # FlexCast is highly sensitive to the overlay: the O1 and O2 latency
+    # profiles differ noticeably at some destination rank (in the paper the
+    # difference is largest at the later destinations; O1 is kept afterwards).
+    o1, o2 = tables["FlexCast O1"], tables["FlexCast O2"]
+    common_ranks = set(o1) & set(o2)
+    assert any(
+        abs(o1[rank][90] - o2[rank][90]) / o2[rank][90] > 0.05 for rank in common_ranks
+    )
+
+    # The star tree T3 funnels everything through its root: its first
+    # destination latency is never meaningfully better than the other trees.
+    t1, t2, t3 = (tables[f"Hierarchical {t}"][1][90] for t in ("T1", "T2", "T3"))
+    assert t3 >= min(t1, t2) * 0.9
+
+    # CDF series exist for plotting each destination (Figure 5 proper).
+    cdfs = result.data["cdfs"]
+    assert all(cdfs[label][1] for label in tables)

@@ -1,0 +1,39 @@
+"""Figure 6 — throughput vs number of clients (99% locality, full gTPC-C mix).
+
+Paper reference: all three protocols sustain the same throughput as load grows
+(the curves overlap) until FlexCast bends first at its saturation point.  In
+the simulator none of the protocols saturate a CPU, so the reproduced shape is
+the overlapping linear region: throughput grows with the number of clients and
+the three protocols stay within the same band.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure6
+
+
+CLIENT_COUNTS = (6, 12, 24, 48)
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6_throughput_vs_clients(benchmark, quick_scale):
+    result = benchmark.pedantic(
+        figure6, args=(quick_scale,), kwargs={"client_counts": CLIENT_COUNTS},
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.text)
+    series = result.data["throughput_ops_per_sec"]
+
+    assert set(series) == {"FlexCast O1", "Hierarchical T1", "Distributed"}
+    for label, points in series.items():
+        assert set(points) == set(CLIENT_COUNTS), label
+        # Throughput grows with offered load (closed-loop clients) while the
+        # system is below saturation.
+        assert points[CLIENT_COUNTS[-1]] > points[CLIENT_COUNTS[0]], label
+
+    # The three protocols track each other: at every client count the spread
+    # between the fastest and slowest protocol stays within a factor of two
+    # (the paper's curves essentially overlap until saturation).
+    for clients in CLIENT_COUNTS:
+        values = [series[label][clients] for label in series]
+        assert max(values) <= 2.5 * min(values), f"divergence at {clients} clients"

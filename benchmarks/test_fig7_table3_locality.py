@@ -1,0 +1,55 @@
+"""Figure 7 / Table 3 — per-destination latency when varying the locality rate.
+
+Paper reference: FlexCast outperforms both baselines at the first destination
+for every locality rate; at the second destination it still beats the
+distributed protocol; at the third destination the hierarchical protocol wins.
+FlexCast is the protocol most sensitive to locality.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure7_table3
+from repro.metrics.stats import percentile
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_table3_locality(benchmark, quick_scale):
+    result = benchmark.pedantic(
+        figure7_table3, args=(quick_scale,), rounds=1, iterations=1
+    )
+    print("\n" + result.text)
+    tables = result.data["percentiles"]
+
+    localities = (90, 95, 99)
+    labels = {
+        loc: {
+            "flexcast": f"FlexCast O1 @{loc}%",
+            "hierarchical": f"Hierarchical T1 @{loc}%",
+            "distributed": f"Distributed @{loc}%",
+        }
+        for loc in localities
+    }
+    assert set(tables) == {label for per_loc in labels.values() for label in per_loc.values()}
+
+    for loc in localities:
+        flexcast = tables[labels[loc]["flexcast"]]
+        hierarchical = tables[labels[loc]["hierarchical"]]
+        distributed = tables[labels[loc]["distributed"]]
+        # 1st destination: FlexCast clearly beats the distributed protocol
+        # (paper: 42-46% latency reduction vs state-of-the-art genuine
+        # multicast) and is at least on par with the hierarchical protocol at
+        # the 90th percentile; in the tail (95p/99p) FlexCast wins outright.
+        # Our nearest-neighbour tree makes the hierarchical baseline slightly
+        # stronger at the median than the paper's trees — see EXPERIMENTS.md.
+        assert flexcast[1][90] < distributed[1][90], f"locality {loc}%"
+        assert flexcast[1][90] <= hierarchical[1][90] * 1.10, f"locality {loc}%"
+        assert flexcast[1][99] < hierarchical[1][99], f"locality {loc}%"
+        # 2nd destination: FlexCast still beats the distributed protocol.
+        assert flexcast[2][90] < distributed[2][90], f"locality {loc}%"
+
+    # FlexCast benefits from higher locality at the first destination
+    # (reduction from 90% -> 99% locality, as in Table 3).
+    assert (
+        tables[labels[99]["flexcast"]][1][90]
+        <= tables[labels[90]["flexcast"]][1][90] * 1.10
+    )

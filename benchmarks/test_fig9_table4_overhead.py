@@ -1,0 +1,55 @@
+"""Figure 9 / Table 4 — hierarchical overhead across trees and localities.
+
+Paper reference: T1's mean overhead decreases as locality grows (9.16% ->
+5.41%); T3 concentrates its (locality-independent) overhead on the root, which
+endures 56% while every other group has none; trees with better latency have
+higher mean overhead.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure9_table4
+from repro.overlay.builders import build_t3
+from repro.sim.latencies import aws_latency_matrix
+
+
+@pytest.mark.benchmark(group="figure9")
+def test_figure9_table4_overhead(benchmark, quick_scale):
+    result = benchmark.pedantic(
+        figure9_table4, args=(quick_scale,), rounds=1, iterations=1
+    )
+    print("\n" + result.text)
+    table4 = {(row["overlay"], row["locality"]): row for row in result.data["table4"]}
+    per_group = result.data["per_group_percent"]
+
+    assert set(table4) == {
+        (overlay, locality)
+        for overlay in ("T1", "T2", "T3")
+        for locality in (0.90, 0.95, 0.99)
+    }
+
+    # Every tree has some overhead at every locality (non-genuine protocol).
+    assert all(row["mean_percent"] > 0 for row in table4.values())
+
+    # T1's overhead decreases as locality increases (Table 4's headline trend).
+    assert table4[("T1", 0.99)]["mean_percent"] < table4[("T1", 0.90)]["mean_percent"]
+
+    # T3 is a star: all its overhead lands on the root, which is by far the
+    # most penalised group in the whole experiment (paper: 56%).
+    t3_root = build_t3(aws_latency_matrix()).root
+    for locality in (0.90, 0.95, 0.99):
+        series = per_group[f"T3 @{int(locality * 100)}%"]
+        assert max(series, key=series.get) == t3_root
+        assert series[t3_root] > 25.0
+        leaves = [g for g in series if g != t3_root]
+        assert all(series[g] == pytest.approx(0.0, abs=1e-9) for g in leaves)
+
+    # Concentration effect: in T3 the root carries essentially all the
+    # overhead (max far above the mean), whereas T1 spreads it over several
+    # inner groups.
+    t3_row = table4[("T3", 0.90)]
+    assert t3_row["max_percent"] > 3 * t3_row["mean_percent"]
+    t1_series = per_group["T1 @90%"]
+    t3_series = per_group["T3 @90%"]
+    groups_with_overhead = lambda series: sum(1 for v in series.values() if v > 1.0)
+    assert groups_with_overhead(t1_series) > groups_with_overhead(t3_series) == 1

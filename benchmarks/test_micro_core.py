@@ -1,0 +1,98 @@
+"""Microbenchmarks of the core data structures and protocol hot paths.
+
+These are conventional pytest-benchmark measurements (many iterations) of the
+pieces that dominate FlexCast's CPU cost: history merging, transitive
+dependency checks, history diffing, and a full lca->destination delivery
+round.  They are the regression guard for the optimisation notes in DESIGN.md.
+"""
+
+import pytest
+
+from repro.core.flexcast import FlexCastGroup
+from repro.core.history import History, HistoryDiffTracker
+from repro.core.message import EMPTY_DELTA, FlexCastAck, FlexCastMsg, Message
+from repro.overlay.cdag import CDagOverlay
+from repro.protocols.base import RecordingSink
+from repro.sim.transport import RecordingTransport
+
+
+def build_chain_history(length=200):
+    history = History()
+    for i in range(length):
+        history.record_delivery(Message(msg_id=f"m{i}", dst=frozenset({i % 4})))
+    return history
+
+
+@pytest.mark.benchmark(group="micro-history")
+def test_history_record_delivery(benchmark):
+    def run():
+        build_chain_history(200)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="micro-history")
+def test_history_merge_delta(benchmark):
+    source = build_chain_history(200)
+    delta = source.full_delta()
+
+    def run():
+        target = History()
+        target.merge_delta(delta)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="micro-history")
+def test_history_transitive_depends(benchmark):
+    history = build_chain_history(300)
+
+    def run():
+        assert history.depends("m299", "m0")
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="micro-history")
+def test_history_diff_tracking(benchmark):
+    history = build_chain_history(200)
+
+    def run():
+        tracker = HistoryDiffTracker()
+        tracker.diff_for("peer", history)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="micro-protocol")
+def test_flexcast_lca_delivery_round(benchmark):
+    """One client message delivered at the lca and forwarded to 2 destinations."""
+    overlay = CDagOverlay(list(range(12)))
+    group = FlexCastGroup(0, overlay, RecordingTransport(0), RecordingSink())
+    counter = {"i": 0}
+
+    def run():
+        counter["i"] += 1
+        group.on_client_request(
+            Message(msg_id=f"bench-{counter['i']}", dst=frozenset({0, 3, 7}))
+        )
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="micro-protocol")
+def test_flexcast_non_lca_delivery_round(benchmark):
+    """msg + ack handling at the highest destination of a 3-group message."""
+    overlay = CDagOverlay(list(range(12)))
+    counter = {"i": 0}
+    group = FlexCastGroup(7, overlay, RecordingTransport(7), RecordingSink())
+
+    def run():
+        counter["i"] += 1
+        message = Message(msg_id=f"bench-{counter['i']}", dst=frozenset({0, 3, 7}))
+        group.on_envelope(0, FlexCastMsg(message=message, history=EMPTY_DELTA))
+        group.on_envelope(
+            3, FlexCastAck(message=message, history=EMPTY_DELTA, from_group=3)
+        )
+
+    benchmark(run)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""gTPC-C protocol comparison on the emulated AWS wide-area network.
+
+Reproduces the core of the paper's evaluation at a small scale: the same
+geo-distributed TPC-C workload (gTPC-C) is run against FlexCast (overlay O1),
+the hierarchical tree protocol (T1) and the distributed protocol (Skeen), and
+the per-destination latency percentiles plus communication overhead are
+printed side by side — the rows of Tables 2/3 and Figure 1.
+
+Run with:  python examples/gtpcc_comparison.py [--locality 0.95] [--clients 36]
+"""
+
+import argparse
+
+from repro.experiments.config import (
+    distributed_config,
+    flexcast_config,
+    hierarchical_config,
+)
+from repro.experiments.runner import run_experiment
+from repro.metrics.report import format_latency_comparison, format_overhead_report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--locality", type=float, default=0.90,
+                        help="gTPC-C locality rate (paper: 0.90, 0.95, 0.99)")
+    parser.add_argument("--clients", type=int, default=36,
+                        help="number of closed-loop clients")
+    parser.add_argument("--duration-ms", type=float, default=4_000.0,
+                        help="virtual milliseconds of load")
+    args = parser.parse_args()
+
+    shared = dict(
+        locality=args.locality,
+        num_clients=args.clients,
+        duration_ms=args.duration_ms,
+        seed=7,
+    )
+    configs = [
+        flexcast_config(overlay="O1", **shared),
+        hierarchical_config(overlay="T1", **shared),
+        distributed_config(**shared),
+    ]
+
+    tables = {}
+    overheads = {}
+    for config in configs:
+        print(f"running {config.display_label} "
+              f"({config.num_clients} clients, locality {config.locality:.0%}) ...")
+        result = run_experiment(config)
+        tables[config.display_label] = result.latency_table()
+        overheads[config.display_label] = result.overhead
+        print(f"  completed {result.completed} transactions "
+              f"({result.throughput_ops_per_sec:.0f} ops/s)")
+
+    print("\nPer-destination latency percentiles (ms), "
+          f"gTPC-C global transactions at {args.locality:.0%} locality:")
+    print(format_latency_comparison(tables))
+
+    print("\nCommunication overhead (only the non-genuine protocol has any):")
+    for label, report in overheads.items():
+        print(f"\n{format_overhead_report(label, report)}")
+
+
+if __name__ == "__main__":
+    main()

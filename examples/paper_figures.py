@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Each figure/table is produced by the corresponding function in
+``repro.experiments.figures``; this script is a thin CLI over them.  The
+default scale is small enough to run everything in a few minutes; raise
+``--duration-ms`` and ``--clients`` for closer (slower) comparisons.
+
+Run with:
+  python examples/paper_figures.py               # everything
+  python examples/paper_figures.py --figure 5    # only Figure 5 / Table 2
+"""
+
+import argparse
+
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.scenarios import Scale
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--figure", choices=sorted(ALL_FIGURES), default=None,
+                        help="regenerate a single figure (default: all)")
+    parser.add_argument("--duration-ms", type=float, default=4_000.0,
+                        help="virtual milliseconds of load per experiment")
+    parser.add_argument("--clients", type=int, default=36,
+                        help="closed-loop clients per experiment")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    scale = Scale(duration_ms=args.duration_ms, num_clients=args.clients, seed=args.seed)
+    targets = [args.figure] if args.figure else sorted(ALL_FIGURES)
+    for key in targets:
+        print(f"\n{'=' * 78}")
+        result = ALL_FIGURES[key](scale)
+        print(f"{result.name}\n{'-' * 78}")
+        print(result.text)
+
+
+if __name__ == "__main__":
+    main()

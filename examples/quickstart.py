@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Quickstart: atomic multicast with FlexCast on a simulated 5-region WAN.
+
+This example builds the smallest useful FlexCast deployment:
+
+* five groups (A-E) arranged on a complete DAG overlay (paper Figure 2c),
+* a simulated wide-area network with per-link latencies,
+* a handful of multicast messages with overlapping destination sets.
+
+It then prints the delivery order observed at every group and verifies the
+atomic multicast properties with the built-in trace checker.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.checker import check_trace
+from repro.core.flexcast import FlexCastProtocol
+from repro.core.message import ClientRequest, Message
+from repro.overlay.cdag import CDagOverlay
+from repro.protocols.base import RecordingSink
+from repro.sim.events import EventLoop
+from repro.sim.latencies import LatencyMatrix
+from repro.sim.network import Network
+from repro.sim.transport import SimTransport
+
+
+def main() -> None:
+    # ----------------------------------------------------------- deployment
+    groups = ["A", "B", "D", "E", "C"]  # rank order, exactly as in Figure 2(c)
+    overlay = CDagOverlay(groups)
+    protocol = FlexCastProtocol(overlay)
+
+    # A small latency matrix (one-way milliseconds between the five sites).
+    latencies = LatencyMatrix(
+        matrix=[
+            [1, 10, 25, 40, 80],
+            [10, 1, 15, 30, 70],
+            [25, 15, 1, 20, 55],
+            [40, 30, 20, 1, 35],
+            [80, 70, 55, 35, 1],
+        ],
+        names=groups,
+    )
+
+    loop = EventLoop()
+    network = Network(loop, latencies)
+    sink = RecordingSink(clock=lambda: loop.now)
+
+    for site, gid in enumerate(groups):
+        transport = SimTransport(network, gid)
+        group = protocol.create_group(gid, transport, sink)
+        network.register(gid, site=site, handler=group.on_envelope)
+
+    # A client located next to group A.
+    network.register("client", site=0, handler=lambda sender, payload: None)
+
+    # ------------------------------------------------------------ multicast
+    workload = [
+        {"A", "C"},
+        {"A", "B"},
+        {"B", "C"},
+        {"D", "E", "C"},
+        {"A", "D"},
+        {"B", "E"},
+    ]
+    messages = []
+    for i, destinations in enumerate(workload):
+        message = Message.create(destinations, sender="client", msg_id=f"m{i}")
+        messages.append(message)
+        # FlexCast messages enter the overlay at their lca (lowest destination).
+        entry = protocol.entry_groups(message)[0]
+        loop.schedule(
+            i * 5.0,
+            lambda entry=entry, message=message: network.send(
+                "client", entry, ClientRequest(message=message)
+            ),
+        )
+
+    loop.run_until_idle()
+
+    # -------------------------------------------------------------- results
+    print("Delivery order per group (message ids):")
+    for gid in groups:
+        print(f"  {gid}: {sink.sequence(gid)}")
+
+    report = check_trace(sink, messages, expect_all_delivered=True)
+    report.raise_if_failed()
+    print("\nAll atomic multicast properties hold "
+          "(validity, agreement, integrity, prefix order, acyclic order).")
+    print(f"Simulated time: {loop.now:.1f} ms, "
+          f"network messages: {network.total_messages}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""FlexCast reproduction: genuine overlay-based atomic multicast (MIDDLEWARE 2023).
+
+The public API is intentionally small; most users need only:
+
+* :class:`repro.core.FlexCastProtocol` (and the baselines in :mod:`repro.protocols`),
+* an overlay from :mod:`repro.overlay` (``build_o1`` et al.),
+* :func:`repro.experiments.run_experiment` with an
+  :class:`repro.experiments.ExperimentConfig` to reproduce the paper's
+  experiments, or
+* :mod:`repro.runtime` to run the same protocols over real TCP sockets.
+
+See README.md for a quickstart and DESIGN.md for the full system inventory.
+"""
+
+from .core.flexcast import FlexCastGroup, FlexCastProtocol
+from .core.message import Message
+from .experiments.config import ExperimentConfig
+from .experiments.runner import run_experiment
+from .overlay.builders import (
+    build_complete,
+    build_o1,
+    build_o2,
+    build_t1,
+    build_t2,
+    build_t3,
+    standard_overlays,
+)
+from .overlay.cdag import CDagOverlay
+from .overlay.tree import TreeOverlay
+from .protocols.hierarchical import HierarchicalProtocol
+from .protocols.skeen import SkeenProtocol
+from .sim.latencies import aws_latency_matrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FlexCastGroup",
+    "FlexCastProtocol",
+    "Message",
+    "ExperimentConfig",
+    "run_experiment",
+    "build_complete",
+    "build_o1",
+    "build_o2",
+    "build_t1",
+    "build_t2",
+    "build_t3",
+    "standard_overlays",
+    "CDagOverlay",
+    "TreeOverlay",
+    "HierarchicalProtocol",
+    "SkeenProtocol",
+    "aws_latency_matrix",
+    "__version__",
+]

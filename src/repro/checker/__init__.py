@@ -1,0 +1,5 @@
+"""Correctness checking of atomic multicast traces."""
+
+from .properties import CheckReport, Violation, check_genuineness, check_trace
+
+__all__ = ["CheckReport", "Violation", "check_genuineness", "check_trace"]

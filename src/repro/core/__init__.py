@@ -1,0 +1,49 @@
+"""FlexCast core: messages, histories, the protocol itself, GC and clients."""
+
+from .client import MulticastCall, MulticastClient
+from .flexcast import FlexCastGroup, FlexCastProtocol, PendingMessage
+from .garbage import FlushCoordinator
+from .history import History, HistoryDiffTracker
+from .message import (
+    ClientRequest,
+    ClientResponse,
+    EMPTY_DELTA,
+    Envelope,
+    FlexCastAck,
+    FlexCastMsg,
+    FlexCastNotif,
+    HistoryDelta,
+    Message,
+    PAYLOAD_KINDS,
+    SkeenPropose,
+    SkeenTimestamp,
+    TreeForward,
+    fresh_message_id,
+    reset_message_ids,
+)
+
+__all__ = [
+    "MulticastCall",
+    "MulticastClient",
+    "FlexCastGroup",
+    "FlexCastProtocol",
+    "PendingMessage",
+    "FlushCoordinator",
+    "History",
+    "HistoryDiffTracker",
+    "ClientRequest",
+    "ClientResponse",
+    "EMPTY_DELTA",
+    "Envelope",
+    "FlexCastAck",
+    "FlexCastMsg",
+    "FlexCastNotif",
+    "HistoryDelta",
+    "Message",
+    "PAYLOAD_KINDS",
+    "SkeenPropose",
+    "SkeenTimestamp",
+    "TreeForward",
+    "fresh_message_id",
+    "reset_message_ids",
+]

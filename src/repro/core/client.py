@@ -1,0 +1,122 @@
+"""Client-side helper for atomic multicast.
+
+A client in the paper's system model multicasts a message and, in the
+evaluation, receives one response from each destination group when that group
+delivers the message.  :class:`MulticastCall` tracks one in-flight multicast;
+:class:`MulticastClient` is the reusable piece shared by the closed-loop
+workload clients (:mod:`repro.workload.clients`) and by the asyncio runtime's
+interactive client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional
+
+from ..overlay.base import GroupId
+from ..protocols.base import AtomicMulticastProtocol
+from .message import ClientRequest, Message
+
+
+@dataclass
+class MulticastCall:
+    """Book-keeping for one multicast issued by a client."""
+
+    message: Message
+    submitted_at: float
+    #: Delivery confirmations received so far: group -> response time.
+    responses: Dict[GroupId, float] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        """True when every destination group responded."""
+        return set(self.responses) >= set(self.message.dst)
+
+    def record_response(self, group: GroupId, at: float) -> bool:
+        """Record a response; returns True if it completed the call."""
+        if group not in self.message.dst:
+            raise ValueError(
+                f"response from {group} for {self.message.msg_id}, "
+                f"which is not addressed to it"
+            )
+        self.responses.setdefault(group, at)
+        return self.complete
+
+    def latencies_by_arrival(self) -> List[float]:
+        """Per-destination latencies sorted by arrival (1st, 2nd, 3rd, ...).
+
+        This is exactly the quantity the paper plots: "the latency of the
+        first (respectively second and third) destination corresponds to the
+        first (respectively second and third) response the client receives".
+        """
+        return sorted(t - self.submitted_at for t in self.responses.values())
+
+
+class MulticastClient:
+    """Protocol-agnostic client: builds requests and tracks responses.
+
+    The transport-specific part (how a request physically reaches a group and
+    how responses come back) is injected via ``send_request``; the simulator
+    and the asyncio runtime provide different implementations.
+    """
+
+    def __init__(
+        self,
+        client_id: str,
+        protocol: AtomicMulticastProtocol,
+        send_request: Callable[[GroupId, ClientRequest], None],
+        clock: Callable[[], float],
+    ) -> None:
+        self.client_id = client_id
+        self._protocol = protocol
+        self._send_request = send_request
+        self._clock = clock
+        self.inflight: Dict[str, MulticastCall] = {}
+        self.completed: List[MulticastCall] = []
+
+    # ---------------------------------------------------------------- sending
+    def multicast(
+        self,
+        destinations: Iterable[GroupId],
+        payload=None,
+        payload_bytes: int = 64,
+    ) -> Message:
+        """Multicast a fresh message and start tracking its responses."""
+        message = Message.create(
+            destinations=destinations,
+            sender=self.client_id,
+            payload=payload,
+            payload_bytes=payload_bytes,
+        )
+        self.submit(message)
+        return message
+
+    def submit(self, message: Message) -> None:
+        """Submit an already-built message to the protocol's entry group(s)."""
+        call = MulticastCall(message=message, submitted_at=self._clock())
+        self.inflight[message.msg_id] = call
+        request = ClientRequest(message=message)
+        for entry in self._protocol.entry_groups(message):
+            self._send_request(entry, request)
+
+    # -------------------------------------------------------------- responses
+    def on_response(self, group: GroupId, msg_id: str) -> Optional[MulticastCall]:
+        """Record a delivery confirmation.
+
+        Returns the completed :class:`MulticastCall` when the last destination
+        responded, else ``None``.  Unknown message ids are ignored (they belong
+        to calls already accounted for, e.g. duplicate confirmations).
+        """
+        call = self.inflight.get(msg_id)
+        if call is None:
+            return None
+        call.record_response(group, self._clock())
+        if call.complete:
+            del self.inflight[msg_id]
+            self.completed.append(call)
+            return call
+        return None
+
+    @property
+    def outstanding(self) -> int:
+        return len(self.inflight)

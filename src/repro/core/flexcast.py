@@ -1,0 +1,405 @@
+"""FlexCast: genuine overlay-based atomic multicast (paper §4, Algorithms 1-3).
+
+Groups are arranged on a complete DAG (:class:`~repro.overlay.cdag.CDagOverlay`).
+A client submits a multicast message ``m`` to its lowest common ancestor
+(``m.lca()`` — the lowest-ranked destination).  The lca delivers ``m``
+immediately and propagates it to the remaining destinations together with a
+*history delta*; destinations deliver ``m`` only once they have every piece of
+dependency information that could order another message before ``m``:
+
+* **Strategy (a) — histories.**  Every delivered message is appended to the
+  group's history DAG; histories travel (as diffs) with every envelope, so a
+  destination learns orderings decided by groups it never talks to directly.
+
+* **Strategy (b) — acks.**  A non-lca destination ``g`` sends an ``ack`` (with
+  its history) to every higher destination ``h`` of the same message; ``h``
+  waits for those acks before delivering, because ``g`` may have ordered other
+  messages before ``m`` that ``h`` must respect.
+
+* **Strategy (c) — notifs.**  When a group is about to forward ``m`` (or an
+  ack for ``m``) and some *non-destination* descendant ``d`` sits between it
+  and another destination, and the group has previously sent messages to
+  ``d``, it sends a ``notif`` so that ``d`` pushes its own dependencies (acks)
+  down to the destinations of ``m``.  Notified groups are carried in the
+  envelopes so destinations know to wait for their acks as well.
+
+The implementation below follows the paper's pseudo-code closely; method names
+echo the pseudo-code (``can_deliver`` = ``can-deliver``, ``reprocess_queues``
+= ``reprocess-queues``, …) to keep the correspondence auditable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, FrozenSet, Hashable, List, Optional, Set
+
+from ..overlay.base import GroupId
+from ..overlay.cdag import CDagOverlay
+from ..protocols.base import (
+    AtomicMulticastGroup,
+    AtomicMulticastProtocol,
+    DeliverySink,
+    ProtocolError,
+)
+from ..sim.transport import Transport
+from .history import History, HistoryDiffTracker
+from .message import (
+    ClientRequest,
+    Envelope,
+    FlexCastAck,
+    FlexCastMsg,
+    FlexCastNotif,
+    Message,
+)
+
+
+@dataclass
+class PendingMessage:
+    """Per-group protocol state about a not-yet-delivered multicast message.
+
+    Mirrors the mutable fields the paper attaches to a message (``m.acks`` and
+    ``m.notifList``); they are kept per group here because message objects are
+    shared between simulated nodes and must stay immutable.
+    """
+
+    message: Message
+    #: Groups whose ack for this message has been received.
+    acks: Set[GroupId] = field(default_factory=set)
+    #: Groups that were notified (Strategy (c)) and therefore must also ack.
+    notified: Set[GroupId] = field(default_factory=set)
+    #: True once the message envelope itself arrived and was enqueued.
+    enqueued: bool = False
+
+
+@dataclass
+class PendingNotification:
+    """A received ``notif`` waiting for local open dependencies to resolve."""
+
+    message: Message
+    open_deps: Set[str]
+
+
+class FlexCastGroup(AtomicMulticastGroup):
+    """The FlexCast protocol logic for a single group.
+
+    Parameters
+    ----------
+    group_id:
+        This group's id (must belong to ``overlay``).
+    overlay:
+        The complete-DAG overlay shared by all groups.
+    transport:
+        Outbound communication channel (simulated or asyncio).
+    sink:
+        Application delivery callback.
+    """
+
+    def __init__(
+        self,
+        group_id: GroupId,
+        overlay: CDagOverlay,
+        transport: Transport,
+        sink: DeliverySink,
+    ) -> None:
+        super().__init__(group_id, transport, sink)
+        self.overlay = overlay
+        self.history = History()
+        #: Messages delivered at this group (``deliveredInG``).
+        self.delivered_in_g: Set[str] = set()
+        #: One FIFO queue of not-yet-delivered messages per ancestor lca.
+        self.queues: Dict[GroupId, Deque[Message]] = {
+            ancestor: deque() for ancestor in overlay.ancestors(group_id)
+        }
+        #: Per-message protocol state (acks received, notified groups).
+        self.pending: Dict[str, PendingMessage] = {}
+        #: Notifications waiting for open dependencies (``pendNotif``).
+        self.pending_notifications: List[PendingNotification] = []
+        #: ``diff-hst`` bookkeeping per descendant.
+        self.diff_tracker = HistoryDiffTracker()
+        # Statistics (exposed for tests, ablations and Figure 8 style reports).
+        self.stats = {
+            "msgs_received": 0,
+            "acks_received": 0,
+            "notifs_received": 0,
+            "notifs_sent": 0,
+            "acks_sent": 0,
+            "gc_pruned": 0,
+        }
+
+    # --------------------------------------------------------------- helpers
+    def _rank(self, group: GroupId) -> int:
+        return self.overlay.rank(group)
+
+    def _pending_for(self, message: Message) -> PendingMessage:
+        entry = self.pending.get(message.msg_id)
+        if entry is None:
+            entry = PendingMessage(message=message)
+            self.pending[message.msg_id] = entry
+        return entry
+
+    def lca_of(self, message: Message) -> GroupId:
+        """The lowest common ancestor (entry group) of ``message``."""
+        return self.overlay.lca(message.dst)
+
+    # ------------------------------------------------------------ entry points
+    def on_client_request(self, message: Message) -> None:
+        """A client submitted ``message`` to this group.
+
+        The client is required to target the lca (Algorithm 2 line 1); a
+        message submitted elsewhere indicates a routing bug.
+        """
+        if self.group_id not in message.dst:
+            raise ProtocolError(
+                f"group {self.group_id} received client message {message.msg_id} "
+                f"addressed to {sorted(message.dst)}"
+            )
+        if self.lca_of(message) != self.group_id:
+            raise ProtocolError(
+                f"client sent {message.msg_id} to {self.group_id}, "
+                f"but its lca is {self.lca_of(message)}"
+            )
+        self.a_deliver(message)
+
+    def on_envelope(self, sender: Hashable, envelope: Envelope) -> None:
+        """Dispatch protocol envelopes (Algorithm 2)."""
+        if isinstance(envelope, ClientRequest):
+            self.on_client_request(envelope.message)
+        elif isinstance(envelope, FlexCastMsg):
+            self._on_msg(envelope)
+        elif isinstance(envelope, FlexCastAck):
+            self._on_ack(envelope)
+        elif isinstance(envelope, FlexCastNotif):
+            self._on_notif(envelope)
+        else:
+            raise ProtocolError(f"FlexCast group got unexpected envelope {envelope!r}")
+
+    # -------------------------------------------------------- msg / ack / notif
+    def _on_msg(self, envelope: FlexCastMsg) -> None:
+        """``upon receiving [msg, m, history]`` at a non-lca destination."""
+        message = envelope.message
+        self.stats["msgs_received"] += 1
+        if self.group_id not in message.dst:
+            raise ProtocolError(
+                f"group {self.group_id} received msg {message.msg_id} "
+                f"not addressed to it (violates genuineness)"
+            )
+        if self.lca_of(message) == self.group_id:
+            # Only clients submit at the lca; other groups never forward here.
+            self.a_deliver(message)
+            return
+        self.history.merge_delta(envelope.history)
+        entry = self._pending_for(message)
+        entry.notified.update(envelope.notified)
+        if not entry.enqueued and message.msg_id not in self.delivered_in_g:
+            self.queues[self.lca_of(message)].append(message)
+            entry.enqueued = True
+        self.reprocess_queues()
+
+    def _on_ack(self, envelope: FlexCastAck) -> None:
+        """``upon receiving [ack, m, history] from ancestor a``."""
+        message = envelope.message
+        self.stats["acks_received"] += 1
+        self.history.merge_delta(envelope.history)
+        entry = self._pending_for(message)
+        entry.acks.add(envelope.from_group)
+        entry.notified.update(envelope.notified)
+        self.reprocess_queues()
+
+    def _on_notif(self, envelope: FlexCastNotif) -> None:
+        """``upon receiving [notif, m, history]`` at a non-destination group."""
+        message = envelope.message
+        self.stats["notifs_received"] += 1
+        self.history.merge_delta(envelope.history)
+        open_deps = self.open_dependencies()
+        if open_deps:
+            # We must first deliver our own outstanding messages, otherwise the
+            # acks we send would carry incomplete dependency information.
+            self.pending_notifications.append(
+                PendingNotification(message=message, open_deps=open_deps)
+            )
+        else:
+            self.send_descendants(message, ack=True)
+
+    # ----------------------------------------------------------- core functions
+    def open_dependencies(self) -> Set[str]:
+        """Messages addressed to this group present in the history but not yet
+        delivered here (``open-dependencies``)."""
+        return {
+            mid
+            for mid in self.history.messages_addressed_to(self.group_id)
+            if mid not in self.delivered_in_g
+        }
+
+    def a_deliver(self, message: Message) -> None:
+        """Deliver ``message`` and propagate ordering information (``a-deliver``)."""
+        self.history.record_delivery(message)
+        self.delivered_in_g.add(message.msg_id)
+        self.deliver(message)
+
+        if self.lca_of(message) == self.group_id:
+            self.send_descendants(message, ack=False)
+        else:
+            queue = self.queues[self.lca_of(message)]
+            if queue and queue[0].msg_id == message.msg_id:
+                queue.popleft()
+            self.send_descendants(message, ack=True)
+
+        # Delivering this message may unblock pending notifications.
+        still_pending: List[PendingNotification] = []
+        for notif in self.pending_notifications:
+            notif.open_deps.discard(message.msg_id)
+            if notif.open_deps:
+                still_pending.append(notif)
+            else:
+                self.send_descendants(notif.message, ack=True)
+        self.pending_notifications = still_pending
+
+        if message.is_flush:
+            self._garbage_collect(message)
+
+    def send_descendants(self, message: Message, ack: bool) -> None:
+        """Send ``msg`` or ``ack`` envelopes to the destinations above us
+        (``send-descendants``), preceded by any required notifs."""
+        self.send_notifs(message)
+        entry = self._pending_for(message)
+        notified = frozenset(entry.notified)
+        for dest in self.overlay.descendants(self.group_id):
+            if dest not in message.dst:
+                continue
+            delta = self.diff_tracker.diff_for(dest, self.history)
+            if ack:
+                envelope: Envelope = FlexCastAck(
+                    message=message,
+                    history=delta,
+                    from_group=self.group_id,
+                    notified=notified,
+                )
+                self.stats["acks_sent"] += 1
+            else:
+                envelope = FlexCastMsg(
+                    message=message, history=delta, notified=notified
+                )
+            self.send(dest, envelope)
+
+    def send_notifs(self, message: Message) -> None:
+        """Strategy (c): notify non-destination descendants that must flush
+        their dependencies toward ``message``'s destinations (``send-notifs``)."""
+        entry = self._pending_for(message)
+        for dest in self.overlay.descendants(self.group_id):
+            if dest in message.dst or dest in entry.notified:
+                continue
+            has_higher_destination = any(
+                self.overlay.is_ancestor(dest, other)
+                for other in message.dst
+                if other != self.group_id
+            )
+            if not has_higher_destination:
+                continue
+            if not self.history.contains_message_to(dest):
+                # We never communicated with `dest`; notifying it would break
+                # minimality (genuineness) — and is unnecessary, because it
+                # cannot hold dependencies we created.
+                continue
+            delta = self.diff_tracker.diff_for(dest, self.history)
+            self.send(
+                dest,
+                FlexCastNotif(message=message, history=delta, from_group=self.group_id),
+            )
+            entry.notified.add(dest)
+            self.stats["notifs_sent"] += 1
+
+    def reprocess_queues(self) -> None:
+        """Repeatedly deliver queue heads whose dependencies are satisfied
+        (``reprocess-queues``)."""
+        delivered = True
+        while delivered:
+            delivered = False
+            for queue in self.queues.values():
+                if queue and self.can_deliver(queue[0]):
+                    self.a_deliver(queue[0])
+                    delivered = True
+                    break  # queues changed; restart the scan
+
+    def can_deliver(self, message: Message) -> bool:
+        """Delivery condition for non-lca destinations (``can-deliver``)."""
+        if not self.ancestors_to_ack(message) <= self.ancestors_that_acked(message):
+            return False
+        # Any message addressed to this group that precedes `message` must have
+        # been delivered here already.
+        for mid in self.history.messages_addressed_to(self.group_id):
+            if mid in self.delivered_in_g:
+                continue
+            if self.history.depends(message.msg_id, mid):
+                return False
+        return True
+
+    def ancestors_to_ack(self, message: Message) -> Set[GroupId]:
+        """Groups whose ack this group must wait for (``ancestors-to-ack``).
+
+        These are (i) every ancestor destination except the lca, and (ii) every
+        notified group that is an ancestor of this group (a notified group only
+        sends acks to its own descendants, so lower notified groups are the
+        only ones we can — and must — wait for).
+        """
+        entry = self._pending_for(message)
+        my_rank = self._rank(self.group_id)
+        required = {
+            g
+            for g in message.dst
+            if g != self.lca_of(message) and self._rank(g) < my_rank
+        }
+        required.update(
+            g for g in entry.notified if self._rank(g) < my_rank
+        )
+        return required
+
+    def ancestors_that_acked(self, message: Message) -> Set[GroupId]:
+        """Groups that have acked ``message`` (``ancestors-that-acked``)."""
+        return set(self._pending_for(message).acks)
+
+    # ------------------------------------------------------- garbage collection
+    def _garbage_collect(self, flush: Message) -> None:
+        """Prune everything ordered before a delivered flush message (§4.3)."""
+        keep = set()
+        if self.history.last_delivered is not None:
+            keep.add(self.history.last_delivered)
+        victims_before = set(self.history.message_ids())
+        pruned = self.history.prune_before(flush.msg_id, keep=keep)
+        victims = victims_before - set(self.history.message_ids())
+        self.diff_tracker.forget(victims)
+        for victim in victims:
+            self.pending.pop(victim, None)
+            self.delivered_in_g.discard(victim)
+        self.stats["gc_pruned"] += pruned
+
+    # ------------------------------------------------------------- inspection
+    def queue_sizes(self) -> Dict[GroupId, int]:
+        """Number of undelivered messages per ancestor queue (monitoring)."""
+        return {g: len(q) for g, q in self.queues.items()}
+
+    def history_size(self) -> int:
+        """Number of vertices currently retained in the history."""
+        return len(self.history)
+
+
+class FlexCastProtocol(AtomicMulticastProtocol):
+    """Factory/deployment descriptor for FlexCast on a given C-DAG overlay."""
+
+    name = "FlexCast"
+    genuine = True
+
+    def __init__(self, overlay: CDagOverlay) -> None:
+        if not isinstance(overlay, CDagOverlay):
+            raise TypeError("FlexCast requires a complete-DAG overlay")
+        super().__init__(overlay)
+
+    def create_group(
+        self, group_id: GroupId, transport: Transport, sink: DeliverySink
+    ) -> FlexCastGroup:
+        return FlexCastGroup(group_id, self.overlay, transport, sink)
+
+    def entry_groups(self, message: Message) -> List[GroupId]:
+        """Clients submit a message to its lca only."""
+        self.validate_message(message)
+        return [self.overlay.lca(message.dst)]

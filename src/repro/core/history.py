@@ -1,0 +1,269 @@
+"""FlexCast histories.
+
+A *history* (paper §4.1, Strategy (a)) is a DAG whose vertices are messages
+(identified by id, annotated with their destination set) and whose edges are
+delivery-order dependencies: an edge ``m1 -> m2`` means ``m1`` was ordered
+before ``m2`` somewhere, so every group must respect that order.  Each group:
+
+* records every message it delivers in its history, chained after the
+  previously delivered message (building a per-group total order);
+* merges the history deltas it receives from ancestors;
+* ships *diffs* of its history to descendants (tracked per descendant by
+  :class:`HistoryDiffTracker`) so the ever-growing history is never resent;
+* prunes the history when a garbage-collection ``flush`` message is delivered
+  (§4.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..overlay.base import GroupId
+from .message import EMPTY_DELTA, HistoryDelta, Message
+
+
+class History:
+    """A dependency DAG over delivered messages.
+
+    The structure mirrors the paper's ``H = (M, D, lastDlvd)``:
+
+    * ``M`` — :attr:`destinations`, mapping message id to destination set;
+    * ``D`` — :attr:`successors` (and the mirrored :attr:`predecessors`),
+      where an edge ``(a, b)`` means *b depends on a* (a was ordered first);
+    * ``lastDlvd`` — :attr:`last_delivered`, the id of the last message this
+      group itself delivered.
+    """
+
+    __slots__ = ("destinations", "successors", "predecessors", "last_delivered", "_forgotten")
+
+    def __init__(self) -> None:
+        self.destinations: Dict[str, FrozenSet[GroupId]] = {}
+        self.successors: Dict[str, Set[str]] = {}
+        self.predecessors: Dict[str, Set[str]] = {}
+        self.last_delivered: Optional[str] = None
+        # Messages removed by garbage collection.  Ancestors may still mention
+        # them in later deltas; re-adding them would resurrect already-resolved
+        # dependencies and block delivery forever, so they are remembered and
+        # filtered out on merge.
+        self._forgotten: Set[str] = set()
+
+    # ---------------------------------------------------------------- basics
+    def __contains__(self, msg_id: str) -> bool:
+        return msg_id in self.destinations
+
+    def __len__(self) -> int:
+        return len(self.destinations)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(s) for s in self.successors.values())
+
+    def destinations_of(self, msg_id: str) -> FrozenSet[GroupId]:
+        return self.destinations[msg_id]
+
+    def message_ids(self) -> List[str]:
+        return list(self.destinations)
+
+    def edges(self) -> List[Tuple[str, str]]:
+        return [(a, b) for a, succ in self.successors.items() for b in succ]
+
+    # -------------------------------------------------------------- mutation
+    def add_vertex(self, msg_id: str, dst: FrozenSet[GroupId]) -> None:
+        """Insert a message vertex (idempotent, ignores forgotten messages)."""
+        if msg_id in self._forgotten or msg_id in self.destinations:
+            return
+        self.destinations[msg_id] = dst
+        self.successors.setdefault(msg_id, set())
+        self.predecessors.setdefault(msg_id, set())
+
+    def add_edge(self, before: str, after: str) -> None:
+        """Record that ``before`` was ordered before ``after``.
+
+        Both endpoints must already be vertices; edges touching forgotten
+        messages are dropped because the dependency has been fully resolved.
+        """
+        if before in self._forgotten or after in self._forgotten:
+            return
+        if before not in self.destinations or after not in self.destinations:
+            return
+        if before == after:
+            return
+        self.successors[before].add(after)
+        self.predecessors[after].add(before)
+
+    def record_delivery(self, message: Message) -> None:
+        """Append a locally delivered message to the group's total order.
+
+        Implements ``hst-add``: the new message depends on the previously
+        delivered one (``lastDlvd``) and becomes the new ``lastDlvd``.
+        """
+        self.add_vertex(message.msg_id, message.dst)
+        if self.last_delivered is not None and self.last_delivered != message.msg_id:
+            # lastDlvd may have been pruned; the edge is then meaningless.
+            if self.last_delivered in self.destinations:
+                self.add_edge(self.last_delivered, message.msg_id)
+        self.last_delivered = message.msg_id
+
+    def merge_delta(self, delta: HistoryDelta) -> None:
+        """Integrate an ancestor's history delta (``update-hst``)."""
+        if delta is None or delta.is_empty:
+            return
+        for msg_id, dst in delta.vertices:
+            self.add_vertex(msg_id, dst)
+        for before, after in delta.edges:
+            # An edge may reference a vertex whose record arrived in an
+            # earlier delta; both endpoints must exist (or be forgotten).
+            self.add_edge(before, after)
+
+    # --------------------------------------------------------------- queries
+    def depends(self, later: str, earlier: str) -> bool:
+        """True iff ``later`` (transitively) depends on ``earlier``.
+
+        Implements the paper's ``depend(m, m')``: there is a path of
+        dependency edges from ``earlier`` to ``later``.
+        """
+        if earlier == later:
+            return False
+        if earlier not in self.destinations:
+            return False
+        # BFS forward from `earlier` through successor edges.
+        queue = deque(self.successors.get(earlier, ()))
+        seen: Set[str] = set()
+        while queue:
+            node = queue.popleft()
+            if node == later:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            queue.extend(self.successors.get(node, ()))
+        return False
+
+    def ancestors_of(self, msg_id: str) -> Set[str]:
+        """All messages ``msg_id`` transitively depends on."""
+        result: Set[str] = set()
+        queue = deque(self.predecessors.get(msg_id, ()))
+        while queue:
+            node = queue.popleft()
+            if node in result:
+                continue
+            result.add(node)
+            queue.extend(self.predecessors.get(node, ()))
+        return result
+
+    def messages_addressed_to(self, group: GroupId) -> List[str]:
+        """Ids of all messages in the history addressed to ``group``."""
+        return [mid for mid, dst in self.destinations.items() if group in dst]
+
+    def contains_message_to(self, group: GroupId) -> bool:
+        """Paper's ``hst.containsMsgTo(g)`` used by Strategy (c)."""
+        return any(group in dst for dst in self.destinations.values())
+
+    def has_cycle(self) -> bool:
+        """Defensive check used by tests/checker; the protocol never creates one."""
+        colors: Dict[str, int] = {}
+
+        def visit(node: str) -> bool:
+            colors[node] = 1
+            for succ in self.successors.get(node, ()):
+                state = colors.get(succ, 0)
+                if state == 1:
+                    return True
+                if state == 0 and visit(succ):
+                    return True
+            colors[node] = 2
+            return False
+
+        return any(colors.get(n, 0) == 0 and visit(n) for n in self.destinations)
+
+    # --------------------------------------------------------------- pruning
+    def prune_before(self, pivot_id: str, keep: Optional[Set[str]] = None) -> int:
+        """Garbage-collect every message the pivot transitively depends on.
+
+        Called when a ``flush`` message is delivered (§4.3): everything ordered
+        before the flush has been resolved at every group that needed it and
+        can be forgotten.  ``keep`` protects specific ids (e.g. the group's
+        ``last_delivered``).  Returns the number of vertices removed.
+        """
+        keep = keep or set()
+        victims = self.ancestors_of(pivot_id) - keep - {pivot_id}
+        for victim in victims:
+            self._remove_vertex(victim)
+        self._forgotten.update(victims)
+        return len(victims)
+
+    def _remove_vertex(self, msg_id: str) -> None:
+        for succ in self.successors.pop(msg_id, set()):
+            self.predecessors.get(succ, set()).discard(msg_id)
+        for pred in self.predecessors.pop(msg_id, set()):
+            self.successors.get(pred, set()).discard(msg_id)
+        self.destinations.pop(msg_id, None)
+        if self.last_delivered == msg_id:
+            self.last_delivered = None
+
+    @property
+    def forgotten_count(self) -> int:
+        return len(self._forgotten)
+
+    def is_forgotten(self, msg_id: str) -> bool:
+        return msg_id in self._forgotten
+
+    # ----------------------------------------------------------------- export
+    def full_delta(self) -> HistoryDelta:
+        """Snapshot of the entire history as a delta (tests, bootstrap)."""
+        return HistoryDelta(
+            vertices=tuple((mid, dst) for mid, dst in self.destinations.items()),
+            edges=tuple(self.edges()),
+            last_delivered=self.last_delivered,
+        )
+
+
+class HistoryDiffTracker:
+    """Tracks which part of the local history each descendant already knows.
+
+    Implements ``diff-hst`` (§4.2 line 11 and §4.3): for each higher group the
+    sender remembers the vertex ids and edges it has shipped; a new delta
+    contains only what is missing.  After garbage collection the shipped sets
+    are pruned too, so they do not grow without bound.
+    """
+
+    def __init__(self) -> None:
+        self._sent_vertices: Dict[GroupId, Set[str]] = {}
+        self._sent_edges: Dict[GroupId, Set[Tuple[str, str]]] = {}
+
+    def diff_for(self, descendant: GroupId, history: History) -> HistoryDelta:
+        """Compute the delta for ``descendant`` and mark it as sent."""
+        sent_v = self._sent_vertices.setdefault(descendant, set())
+        sent_e = self._sent_edges.setdefault(descendant, set())
+
+        new_vertices = tuple(
+            (mid, dst)
+            for mid, dst in history.destinations.items()
+            if mid not in sent_v
+        )
+        new_edges = tuple(
+            edge for edge in history.edges() if edge not in sent_e
+        )
+        sent_v.update(mid for mid, _ in new_vertices)
+        sent_e.update(new_edges)
+        if not new_vertices and not new_edges:
+            return EMPTY_DELTA
+        return HistoryDelta(
+            vertices=new_vertices,
+            edges=new_edges,
+            last_delivered=history.last_delivered,
+        )
+
+    def forget(self, msg_ids: Iterable[str]) -> None:
+        """Drop bookkeeping for garbage-collected messages."""
+        victims = set(msg_ids)
+        for sent_v in self._sent_vertices.values():
+            sent_v -= victims
+        for sent_e in self._sent_edges.values():
+            stale = {e for e in sent_e if e[0] in victims or e[1] in victims}
+            sent_e -= stale
+
+    def sent_to(self, descendant: GroupId) -> Set[str]:
+        """Vertex ids already shipped to ``descendant`` (introspection)."""
+        return set(self._sent_vertices.get(descendant, set()))

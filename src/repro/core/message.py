@@ -1,0 +1,283 @@
+"""Messages and protocol envelopes.
+
+Two layers of "message" exist in this codebase, mirroring the paper:
+
+* :class:`Message` is the *application* multicast message — what a client
+  hands to ``multicast(m)``: a unique id, a destination set of groups, and an
+  opaque payload.  It is immutable; per-group protocol state about a message
+  (received acks, notified groups, …) lives inside each protocol group, never
+  on the shared message object.
+
+* *Envelopes* are what protocol groups actually put on the wire: the paper's
+  ``msg``, ``ack`` and ``notif`` messages (FlexCast), timestamp exchanges
+  (Skeen), tree forwards (hierarchical), plus client requests and responses.
+  Every envelope knows its serialized size (``size_bytes``), which feeds the
+  traffic accounting behind Figure 8 and the overhead figures.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..overlay.base import GroupId
+
+# Serialized-size model (bytes).  These constants approximate a compact binary
+# encoding: they only need to be *consistent* across protocols so that the
+# relative traffic volumes (Figure 8) are meaningful.
+_HEADER_BYTES = 40          # envelope kind, ids, addressing
+_MSG_ID_BYTES = 16          # uuid-sized message identifier
+_GROUP_ID_BYTES = 2         # group ids are small integers
+_HISTORY_VERTEX_BYTES = _MSG_ID_BYTES + 4   # id + destination bitmap
+_HISTORY_EDGE_BYTES = 2 * _MSG_ID_BYTES
+_TIMESTAMP_BYTES = 8
+
+_id_counter = itertools.count()
+
+
+def fresh_message_id(prefix: str = "m") -> str:
+    """Globally unique (per-process) message identifier."""
+    return f"{prefix}{next(_id_counter)}"
+
+
+def reset_message_ids() -> None:
+    """Reset the id counter (tests only, to keep ids short and readable)."""
+    global _id_counter
+    _id_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """An application-level atomic multicast message.
+
+    Attributes
+    ----------
+    msg_id:
+        Globally unique identifier (``m.id`` in the paper).
+    dst:
+        Destination groups (``m.dst``).  ``|dst| == 1`` makes it a *local*
+        message, ``|dst| > 1`` a *global* message.
+    sender:
+        Identifier of the client that multicast the message.
+    payload:
+        Opaque application payload; only its size matters to the protocols.
+    payload_bytes:
+        Declared payload size used for traffic accounting (gTPC-C transactions
+        declare realistic sizes without materialising the bytes).
+    is_flush:
+        True for the distinguished garbage-collection messages (§4.3).
+    """
+
+    msg_id: str
+    dst: FrozenSet[GroupId]
+    sender: Any = "client"
+    payload: Any = None
+    payload_bytes: int = 64
+    is_flush: bool = False
+
+    @staticmethod
+    def create(
+        destinations: Iterable[GroupId],
+        sender: Any = "client",
+        payload: Any = None,
+        payload_bytes: int = 64,
+        msg_id: Optional[str] = None,
+        is_flush: bool = False,
+    ) -> "Message":
+        """Build a message with a fresh id and a normalized destination set."""
+        dst = frozenset(destinations)
+        if not dst:
+            raise ValueError("a multicast message needs at least one destination")
+        return Message(
+            msg_id=msg_id if msg_id is not None else fresh_message_id(),
+            dst=dst,
+            sender=sender,
+            payload=payload,
+            payload_bytes=int(payload_bytes),
+            is_flush=is_flush,
+        )
+
+    @property
+    def is_local(self) -> bool:
+        """True iff the message is addressed to a single group."""
+        return len(self.dst) == 1
+
+    @property
+    def is_global(self) -> bool:
+        """True iff the message is addressed to two or more groups."""
+        return len(self.dst) > 1
+
+    def size_bytes(self) -> int:
+        """Serialized size of the bare message (no protocol metadata)."""
+        return (
+            _MSG_ID_BYTES
+            + len(self.dst) * _GROUP_ID_BYTES
+            + self.payload_bytes
+        )
+
+    def __repr__(self) -> str:  # compact, test-friendly
+        kind = "flush" if self.is_flush else "msg"
+        return f"<{kind} {self.msg_id} dst={sorted(self.dst)}>"
+
+
+# --------------------------------------------------------------------------- history delta
+@dataclass(frozen=True)
+class HistoryDelta:
+    """The portion of a group's history shipped inside an envelope.
+
+    FlexCast never sends its whole (ever-growing) history: ``diff-hst`` sends
+    only the vertices and dependency edges the destination has not been sent
+    yet (§4.3).  A delta is an immutable snapshot taken at send time, so the
+    sender can keep mutating its own history safely.
+    """
+
+    vertices: Tuple[Tuple[str, FrozenSet[GroupId]], ...] = ()
+    edges: Tuple[Tuple[str, str], ...] = ()
+    last_delivered: Optional[str] = None
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.vertices and not self.edges
+
+    def size_bytes(self) -> int:
+        return (
+            len(self.vertices) * _HISTORY_VERTEX_BYTES
+            + len(self.edges) * _HISTORY_EDGE_BYTES
+            + (_MSG_ID_BYTES if self.last_delivered else 0)
+        )
+
+    def __len__(self) -> int:
+        return len(self.vertices) + len(self.edges)
+
+
+EMPTY_DELTA = HistoryDelta()
+
+
+# --------------------------------------------------------------------------- envelopes
+@dataclass(frozen=True)
+class Envelope:
+    """Base class for everything sent between nodes."""
+
+    def size_bytes(self) -> int:  # pragma: no cover - overridden
+        return _HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class ClientRequest(Envelope):
+    """Client -> group: submit a multicast message to the protocol."""
+
+    message: Message
+    kind: str = field(default="request", init=False)
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + self.message.size_bytes()
+
+
+@dataclass(frozen=True)
+class ClientResponse(Envelope):
+    """Group -> client: the group delivered the message."""
+
+    msg_id: str
+    group: GroupId
+    kind: str = field(default="response", init=False)
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + _MSG_ID_BYTES + _GROUP_ID_BYTES
+
+
+@dataclass(frozen=True)
+class FlexCastMsg(Envelope):
+    """FlexCast ``msg``: lca -> other destinations, with a history delta."""
+
+    message: Message
+    history: HistoryDelta
+    notified: FrozenSet[GroupId] = frozenset()
+    kind: str = field(default="msg", init=False)
+
+    def size_bytes(self) -> int:
+        return (
+            _HEADER_BYTES
+            + self.message.size_bytes()
+            + self.history.size_bytes()
+            + len(self.notified) * _GROUP_ID_BYTES
+        )
+
+
+@dataclass(frozen=True)
+class FlexCastAck(Envelope):
+    """FlexCast ``ack``: a destination informs its descendants of its history."""
+
+    message: Message
+    history: HistoryDelta
+    from_group: GroupId
+    notified: FrozenSet[GroupId] = frozenset()
+    kind: str = field(default="ack", init=False)
+
+    def size_bytes(self) -> int:
+        return (
+            _HEADER_BYTES
+            + _MSG_ID_BYTES
+            + _GROUP_ID_BYTES
+            + self.history.size_bytes()
+            + len(self.notified) * _GROUP_ID_BYTES
+        )
+
+
+@dataclass(frozen=True)
+class FlexCastNotif(Envelope):
+    """FlexCast ``notif``: ask a non-destination group to flush its dependencies."""
+
+    message: Message
+    history: HistoryDelta
+    from_group: GroupId
+    kind: str = field(default="notif", init=False)
+
+    def size_bytes(self) -> int:
+        return (
+            _HEADER_BYTES
+            + _MSG_ID_BYTES
+            + _GROUP_ID_BYTES
+            + self.history.size_bytes()
+        )
+
+
+@dataclass(frozen=True)
+class SkeenTimestamp(Envelope):
+    """Skeen: a destination's local timestamp for a message."""
+
+    msg_id: str
+    timestamp: int
+    from_group: GroupId
+    kind: str = field(default="timestamp", init=False)
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + _MSG_ID_BYTES + _TIMESTAMP_BYTES + _GROUP_ID_BYTES
+
+
+@dataclass(frozen=True)
+class SkeenPropose(Envelope):
+    """Skeen: the message as disseminated to every destination group."""
+
+    message: Message
+    kind: str = field(default="msg", init=False)
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + self.message.size_bytes()
+
+
+@dataclass(frozen=True)
+class TreeForward(Envelope):
+    """Hierarchical: a message ordered by a group and pushed to a child."""
+
+    message: Message
+    sequence: int
+    kind: str = field(default="msg", init=False)
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + self.message.size_bytes() + _TIMESTAMP_BYTES
+
+
+#: Envelope kinds that carry the application payload.  Communication overhead
+#: (Figures 1 and 9) is defined over payload messages only.
+PAYLOAD_KINDS = frozenset({"request", "msg"})

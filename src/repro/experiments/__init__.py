@@ -1,0 +1,39 @@
+"""Evaluation harness: configurations, runner and figure regeneration."""
+
+from .config import (
+    ExperimentConfig,
+    PROTOCOL_DISTRIBUTED,
+    PROTOCOL_FLEXCAST,
+    PROTOCOL_HIERARCHICAL,
+    distributed_config,
+    flexcast_config,
+    hierarchical_config,
+)
+from .figures import ALL_FIGURES, FigureResult, run_all
+from .runner import ExperimentResult, build_protocol, run_experiment
+from .scenarios import (
+    DEFAULT_SCALE,
+    LOCALITY_RATES,
+    Scale,
+    THROUGHPUT_CLIENT_COUNTS,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "PROTOCOL_DISTRIBUTED",
+    "PROTOCOL_FLEXCAST",
+    "PROTOCOL_HIERARCHICAL",
+    "distributed_config",
+    "flexcast_config",
+    "hierarchical_config",
+    "ALL_FIGURES",
+    "FigureResult",
+    "run_all",
+    "ExperimentResult",
+    "build_protocol",
+    "run_experiment",
+    "DEFAULT_SCALE",
+    "LOCALITY_RATES",
+    "Scale",
+    "THROUGHPUT_CLIENT_COUNTS",
+]

@@ -1,0 +1,230 @@
+"""Regeneration of every table and figure in the paper's evaluation (§5).
+
+Each ``figureN`` / ``tableN`` function runs the corresponding scenario(s) and
+returns a structured result object that carries both machine-readable series
+(for assertions in benchmarks/tests) and a ``text`` rendering in the layout of
+the paper (for EXPERIMENTS.md and the console).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..metrics.collector import NodeTrafficReport, traffic_report
+from ..metrics.overhead import OverheadReport
+from ..metrics.report import (
+    format_latency_comparison,
+    format_overhead_report,
+    format_throughput_series,
+    format_traffic_report,
+)
+from ..overlay.builders import build_o1, standard_overlays
+from ..sim.latencies import aws_latency_matrix
+from .config import ExperimentConfig
+from .runner import ExperimentResult, run_experiment
+from .scenarios import (
+    DEFAULT_SCALE,
+    LOCALITY_RATES,
+    Scale,
+    THROUGHPUT_CLIENT_COUNTS,
+    figure1_scenario,
+    figure5_table2_scenarios,
+    figure6_scenarios,
+    figure7_table3_scenarios,
+    figure8_scenarios,
+    figure9_table4_scenarios,
+)
+
+
+@dataclass
+class FigureResult:
+    """Generic container for a regenerated figure or table."""
+
+    name: str
+    text: str
+    #: Raw experiment results keyed by configuration label.
+    results: Dict[str, ExperimentResult] = field(default_factory=dict)
+    #: Figure-specific structured data (series, tables, ...).
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return f"== {self.name} ==\n{self.text}"
+
+
+# --------------------------------------------------------------------- Figure 1
+def figure1(scale: Scale = DEFAULT_SCALE) -> FigureResult:
+    """Figure 1: communication overhead per group (hierarchical T1, 90% locality)."""
+    config = figure1_scenario(scale)
+    result = run_experiment(config)
+    report = result.overhead
+    text = format_overhead_report("Hierarchical T1, 90% locality", report)
+    return FigureResult(
+        name="Figure 1 — hierarchical communication overhead (T1, 90% locality)",
+        text=text,
+        results={result.label: result},
+        data={
+            "overhead_percent_by_group": {
+                g: report.overhead_percent(g) for g in report.groups_sorted()
+            },
+            "mean_percent": report.mean_percent,
+            "max_percent": report.max_percent,
+        },
+    )
+
+
+# ------------------------------------------------------------ Figure 5 / Table 2
+def figure5_table2(scale: Scale = DEFAULT_SCALE) -> FigureResult:
+    """Figure 5 + Table 2: per-destination latency when varying the overlay."""
+    results: Dict[str, ExperimentResult] = {}
+    tables: Dict[str, Mapping[int, Mapping[float, float]]] = {}
+    cdfs: Dict[str, Dict[int, List[Tuple[float, float]]]] = {}
+    for config in figure5_table2_scenarios(scale):
+        result = run_experiment(config)
+        results[result.label] = result
+        tables[result.label] = result.latency_table()
+        cdfs[result.label] = {
+            rank: result.latency.cdf_for_destination(rank) for rank in (1, 2, 3)
+        }
+    text = format_latency_comparison(tables)
+    return FigureResult(
+        name="Figure 5 / Table 2 — latency per destination, varying overlays (90% locality)",
+        text=text,
+        results=results,
+        data={"percentiles": tables, "cdfs": cdfs},
+    )
+
+
+# --------------------------------------------------------------------- Figure 6
+def figure6(
+    scale: Scale = DEFAULT_SCALE,
+    client_counts: Sequence[int] = THROUGHPUT_CLIENT_COUNTS,
+) -> FigureResult:
+    """Figure 6: throughput vs number of clients (99% locality, full mix)."""
+    series: Dict[str, Dict[int, float]] = {}
+    results: Dict[str, ExperimentResult] = {}
+    for config in figure6_scenarios(scale, client_counts):
+        result = run_experiment(config)
+        label = result.label
+        series.setdefault(label, {})[config.num_clients] = result.throughput_ops_per_sec
+        results[f"{label}@{config.num_clients}"] = result
+    text = format_throughput_series(series)
+    return FigureResult(
+        name="Figure 6 — throughput vs number of clients (99% locality)",
+        text=text,
+        results=results,
+        data={"throughput_ops_per_sec": series},
+    )
+
+
+# ------------------------------------------------------------ Figure 7 / Table 3
+def figure7_table3(scale: Scale = DEFAULT_SCALE) -> FigureResult:
+    """Figure 7 + Table 3: per-destination latency when varying the locality rate."""
+    results: Dict[str, ExperimentResult] = {}
+    tables: Dict[str, Mapping[int, Mapping[float, float]]] = {}
+    cdfs: Dict[str, Dict[int, List[Tuple[float, float]]]] = {}
+    for config in figure7_table3_scenarios(scale):
+        result = run_experiment(config)
+        label = f"{result.label} @{int(config.locality * 100)}%"
+        results[label] = result
+        tables[label] = result.latency_table()
+        cdfs[label] = {
+            rank: result.latency.cdf_for_destination(rank) for rank in (1, 2, 3)
+        }
+    text = format_latency_comparison(tables)
+    return FigureResult(
+        name="Figure 7 / Table 3 — latency per destination, varying locality",
+        text=text,
+        results=results,
+        data={"percentiles": tables, "cdfs": cdfs},
+    )
+
+
+# --------------------------------------------------------------------- Figure 8
+def figure8(scale: Scale = DEFAULT_SCALE) -> FigureResult:
+    """Figure 8: messages/s, average message size and KB/s per node."""
+    latencies = aws_latency_matrix()
+    o1_order = build_o1(latencies).order  # the paper orders FlexCast nodes by C-DAG rank
+    results: Dict[str, ExperimentResult] = {}
+    reports: Dict[str, List[NodeTrafficReport]] = {}
+    texts: List[str] = []
+    for config in figure8_scenarios(scale):
+        result = run_experiment(config)
+        results[result.label] = result
+        order = o1_order if config.protocol == "flexcast" else sorted(result.traffic)
+        rows = traffic_report(result.traffic, result.duration_ms, order)
+        reports[result.label] = rows
+        texts.append(format_traffic_report(result.label, rows))
+    return FigureResult(
+        name="Figure 8 — information exchanged per node (99% locality)",
+        text="\n\n".join(texts),
+        results=results,
+        data={
+            "per_node": {
+                label: [
+                    {
+                        "node": r.node,
+                        "messages_per_second": r.messages_per_second,
+                        "average_message_bytes": r.average_message_bytes,
+                        "kbytes_per_second": r.kbytes_per_second,
+                    }
+                    for r in rows
+                ]
+                for label, rows in reports.items()
+            },
+            "average_kbytes_per_second": {
+                label: (
+                    sum(r.kbytes_per_second for r in rows) / len(rows) if rows else 0.0
+                )
+                for label, rows in reports.items()
+            },
+        },
+    )
+
+
+# ------------------------------------------------------------ Figure 9 / Table 4
+def figure9_table4(scale: Scale = DEFAULT_SCALE) -> FigureResult:
+    """Figure 9 + Table 4: hierarchical overhead per group and per tree/locality."""
+    results: Dict[str, ExperimentResult] = {}
+    per_group: Dict[str, Dict[int, float]] = {}
+    table4_rows: List[Dict[str, object]] = []
+    texts: List[str] = []
+    for config in figure9_table4_scenarios(scale):
+        result = run_experiment(config)
+        label = f"{config.overlay} @{int(config.locality * 100)}%"
+        results[label] = result
+        report: OverheadReport = result.overhead
+        per_group[label] = {
+            g: report.overhead_percent(g) for g in report.groups_sorted()
+        }
+        table4_rows.append(
+            {
+                "overlay": config.overlay,
+                "locality": config.locality,
+                "mean_percent": report.mean_percent,
+                "stdev_percent": report.stdev_percent,
+                "max_percent": report.max_percent,
+            }
+        )
+        texts.append(format_overhead_report(label, report))
+    return FigureResult(
+        name="Figure 9 / Table 4 — hierarchical overhead across trees and localities",
+        text="\n\n".join(texts),
+        results=results,
+        data={"per_group_percent": per_group, "table4": table4_rows},
+    )
+
+
+ALL_FIGURES = {
+    "1": figure1,
+    "5": figure5_table2,
+    "6": figure6,
+    "7": figure7_table3,
+    "8": figure8,
+    "9": figure9_table4,
+}
+
+
+def run_all(scale: Scale = DEFAULT_SCALE) -> Dict[str, FigureResult]:
+    """Regenerate every figure/table (used by examples/paper_figures.py)."""
+    return {name: fn(scale) for name, fn in ALL_FIGURES.items()}

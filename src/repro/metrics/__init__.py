@@ -1,0 +1,35 @@
+"""Measurement substrate: statistics, collectors, overhead and reports."""
+
+from .collector import LatencyCollector, NodeTrafficReport, traffic_report
+from .overhead import GroupOverhead, OverheadReport, compute_overhead
+from .report import (
+    format_latency_comparison,
+    format_latency_percentiles,
+    format_overhead_report,
+    format_table,
+    format_throughput_series,
+    format_traffic_report,
+)
+from .stats import Summary, cdf_at, cdf_points, mean, percentile, percentiles, stdev
+
+__all__ = [
+    "LatencyCollector",
+    "NodeTrafficReport",
+    "traffic_report",
+    "GroupOverhead",
+    "OverheadReport",
+    "compute_overhead",
+    "format_latency_comparison",
+    "format_latency_percentiles",
+    "format_overhead_report",
+    "format_table",
+    "format_throughput_series",
+    "format_traffic_report",
+    "Summary",
+    "cdf_at",
+    "cdf_points",
+    "mean",
+    "percentile",
+    "percentiles",
+    "stdev",
+]

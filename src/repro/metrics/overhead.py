@@ -1,0 +1,99 @@
+"""Communication overhead of non-genuine protocols (paper §5.8, Figures 1 and 9).
+
+The paper defines a group's communication overhead as::
+
+    1 - (payload messages delivered by the group / payload messages received)
+
+expressed as a percentage.  Genuine protocols (FlexCast, Skeen) have zero
+overhead by construction: a group only ever receives payload messages it must
+deliver.  Hierarchical protocols route messages through non-destination inner
+groups, which therefore receive more payload messages than they deliver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..overlay.base import GroupId
+from .stats import mean, stdev
+
+
+@dataclass(frozen=True)
+class GroupOverhead:
+    """Overhead record for one group."""
+
+    group: GroupId
+    delivered: int
+    received: int
+
+    @property
+    def overhead(self) -> float:
+        """Overhead as a fraction in [0, 1]."""
+        if self.received == 0:
+            return 0.0
+        return max(0.0, 1.0 - self.delivered / self.received)
+
+    @property
+    def overhead_percent(self) -> float:
+        return 100.0 * self.overhead
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Per-group overhead plus the aggregate statistics of Table 4."""
+
+    per_group: Dict[GroupId, GroupOverhead]
+
+    def overhead_percent(self, group: GroupId) -> float:
+        return self.per_group[group].overhead_percent
+
+    @property
+    def mean_percent(self) -> float:
+        return mean([g.overhead_percent for g in self.per_group.values()])
+
+    @property
+    def stdev_percent(self) -> float:
+        return stdev([g.overhead_percent for g in self.per_group.values()])
+
+    @property
+    def max_percent(self) -> float:
+        return max(g.overhead_percent for g in self.per_group.values())
+
+    def groups_sorted(self) -> List[GroupId]:
+        return sorted(self.per_group)
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        """Rows suitable for text/CSV reports (one row per group)."""
+        return [
+            {
+                "group": g,
+                "delivered": self.per_group[g].delivered,
+                "received": self.per_group[g].received,
+                "overhead_percent": self.per_group[g].overhead_percent,
+            }
+            for g in self.groups_sorted()
+        ]
+
+
+def compute_overhead(
+    delivered_by_group: Dict[GroupId, int],
+    received_by_group: Dict[GroupId, int],
+    groups: Sequence[GroupId],
+) -> OverheadReport:
+    """Build an :class:`OverheadReport` from raw delivered/received counters.
+
+    ``received_by_group`` must count *payload* messages only (client requests
+    and forwarded application messages), not protocol auxiliaries — matching
+    the paper, which focuses on payload messages "as these are typically
+    larger than auxiliary messages".
+    """
+    per_group = {
+        g: GroupOverhead(
+            group=g,
+            delivered=delivered_by_group.get(g, 0),
+            received=received_by_group.get(g, 0),
+        )
+        for g in groups
+    }
+    return OverheadReport(per_group=per_group)

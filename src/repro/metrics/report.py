@@ -1,0 +1,108 @@
+"""Plain-text report formatting.
+
+Benchmarks and examples print tables in the same layout as the paper
+(Tables 2-4) so measured values can be compared line by line; these helpers
+keep the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from .collector import NodeTrafficReport
+from .overhead import OverheadReport
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width text table (no external dependencies)."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_latency_percentiles(
+    label: str,
+    table: Mapping[int, Mapping[float, float]],
+    ps: Sequence[float] = (90, 95, 99),
+) -> str:
+    """One row of the paper's latency tables (Tables 2 and 3).
+
+    ``table`` maps destination rank -> {percentile -> latency ms}.
+    """
+    headers = ["config"]
+    for rank in sorted(table):
+        for p in ps:
+            headers.append(f"dst{rank}-{int(p)}p")
+    row: List[object] = [label]
+    for rank in sorted(table):
+        for p in ps:
+            row.append(f"{table[rank].get(p, float('nan')):.1f}")
+    return format_table(headers, [row])
+
+
+def format_latency_comparison(
+    tables: Mapping[str, Mapping[int, Mapping[float, float]]],
+    ps: Sequence[float] = (90, 95, 99),
+    ranks: Sequence[int] = (1, 2, 3),
+) -> str:
+    """Several configurations side by side (whole Table 2 / Table 3)."""
+    headers = ["config"] + [f"dst{r}-{int(p)}p" for r in ranks for p in ps]
+    rows = []
+    for label, table in tables.items():
+        row: List[object] = [label]
+        for rank in ranks:
+            for p in ps:
+                value = table.get(rank, {}).get(p)
+                row.append("-" if value is None else f"{value:.1f}")
+        rows.append(row)
+    return format_table(headers, rows)
+
+def format_overhead_report(label: str, report: OverheadReport) -> str:
+    """Figure 1 / Figure 9 as text: per-group overhead plus aggregates."""
+    rows = [
+        [row["group"], row["delivered"], row["received"], f"{row['overhead_percent']:.1f}%"]
+        for row in report.as_rows()
+    ]
+    table = format_table(["group", "delivered", "received", "overhead"], rows)
+    footer = (
+        f"{label}: mean={report.mean_percent:.2f}% "
+        f"(stdev {report.stdev_percent:.2f}) max={report.max_percent:.0f}%"
+    )
+    return table + "\n" + footer
+
+
+def format_traffic_report(label: str, rows: Sequence[NodeTrafficReport]) -> str:
+    """Figure 8 as text: per-node received messages/s, avg size, KB/s."""
+    table_rows = [
+        [
+            r.node,
+            f"{r.messages_per_second:.1f}",
+            f"{r.average_message_bytes:.0f}",
+            f"{r.kbytes_per_second:.1f}",
+        ]
+        for r in rows
+    ]
+    return (
+        f"{label}\n"
+        + format_table(["node", "msgs/s", "avg bytes", "KB/s"], table_rows)
+    )
+
+
+def format_throughput_series(series: Mapping[str, Mapping[int, float]]) -> str:
+    """Figure 6 as text: throughput (ops/s) per protocol per client count."""
+    client_counts = sorted({c for table in series.values() for c in table})
+    headers = ["protocol"] + [str(c) for c in client_counts]
+    rows = []
+    for protocol, table in series.items():
+        rows.append(
+            [protocol]
+            + [f"{table.get(c, float('nan')):.0f}" for c in client_counts]
+        )
+    return format_table(headers, rows)

@@ -1,0 +1,115 @@
+"""Small statistics helpers: percentiles, CDFs and summaries.
+
+Implemented without numpy on the hot path so they also work on raw Python
+lists coming out of the simulator; numpy is available and used only where it
+genuinely helps (none of these datasets are large enough to matter).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile of ``values`` using linear interpolation.
+
+    Matches ``numpy.percentile(..., method="linear")``.  Raises ``ValueError``
+    on an empty input, because silently returning 0 would corrupt the latency
+    tables.
+    """
+    if not values:
+        raise ValueError("cannot take a percentile of an empty sequence")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError("percentile must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (p / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[int(rank)])
+    fraction = rank - low
+    return float(ordered[low] * (1.0 - fraction) + ordered[high] * fraction)
+
+
+def percentiles(values: Sequence[float], ps: Iterable[float] = (90, 95, 99)) -> Dict[float, float]:
+    """Several percentiles at once (the paper reports 90p/95p/99p)."""
+    return {p: percentile(values, p) for p in ps}
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("cannot take the mean of an empty sequence")
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Population standard deviation (the paper reports std dev of overheads)."""
+    if not values:
+        raise ValueError("cannot take the stdev of an empty sequence")
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / len(values))
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as (value, cumulative probability) points.
+
+    This is what the paper's latency CDF figures plot; benchmarks emit these
+    series so they can be compared against Figures 5 and 7.
+    """
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def cdf_at(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values less than or equal to ``threshold``."""
+    if not values:
+        return 0.0
+    return sum(1 for v in values if v <= threshold) / len(values)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Compact distribution summary used in reports and EXPERIMENTS.md."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    @staticmethod
+    def of(values: Sequence[float]) -> "Summary":
+        if not values:
+            raise ValueError("cannot summarise an empty sequence")
+        return Summary(
+            count=len(values),
+            mean=mean(values),
+            p50=percentile(values, 50),
+            p90=percentile(values, 90),
+            p95=percentile(values, 95),
+            p99=percentile(values, 99),
+            minimum=min(values),
+            maximum=max(values),
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p95": self.p95,
+            "p99": self.p99,
+            "min": self.minimum,
+            "max": self.maximum,
+        }

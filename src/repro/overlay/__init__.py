@@ -1,0 +1,34 @@
+"""Group communication overlays: C-DAG (FlexCast), tree (hierarchical), complete graph."""
+
+from .base import CompleteGraphOverlay, GroupId, Overlay, OverlayError
+from .builders import (
+    build_cdag_from_order,
+    build_complete,
+    build_o1,
+    build_o2,
+    build_t1,
+    build_t2,
+    build_t3,
+    nearest_neighbour_order,
+    standard_overlays,
+)
+from .cdag import CDagOverlay
+from .tree import TreeOverlay
+
+__all__ = [
+    "CompleteGraphOverlay",
+    "GroupId",
+    "Overlay",
+    "OverlayError",
+    "CDagOverlay",
+    "TreeOverlay",
+    "build_cdag_from_order",
+    "build_complete",
+    "build_o1",
+    "build_o2",
+    "build_t1",
+    "build_t2",
+    "build_t3",
+    "nearest_neighbour_order",
+    "standard_overlays",
+]

@@ -1,0 +1,32 @@
+"""Atomic multicast protocols: the shared interface and the two baselines.
+
+FlexCast itself (the paper's contribution) lives in :mod:`repro.core.flexcast`
+and is re-exported here so all three protocols can be imported from one place.
+"""
+
+from ..core.flexcast import FlexCastGroup, FlexCastProtocol
+from .base import (
+    AtomicMulticastGroup,
+    AtomicMulticastProtocol,
+    DeliveryRecord,
+    DeliverySink,
+    ProtocolError,
+    RecordingSink,
+)
+from .hierarchical import HierarchicalGroup, HierarchicalProtocol
+from .skeen import SkeenGroup, SkeenProtocol
+
+__all__ = [
+    "AtomicMulticastGroup",
+    "AtomicMulticastProtocol",
+    "DeliveryRecord",
+    "DeliverySink",
+    "ProtocolError",
+    "RecordingSink",
+    "FlexCastGroup",
+    "FlexCastProtocol",
+    "HierarchicalGroup",
+    "HierarchicalProtocol",
+    "SkeenGroup",
+    "SkeenProtocol",
+]

@@ -1,0 +1,174 @@
+"""Common interface implemented by every atomic multicast protocol.
+
+The experiment harness (``repro.experiments.runner``), the asyncio runtime and
+the correctness checker all talk to protocols exclusively through these
+abstractions, so FlexCast, Skeen's distributed protocol and the hierarchical
+baseline are interchangeable in every benchmark.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional
+
+from ..overlay.base import GroupId, Overlay
+from ..sim.transport import Transport
+from ..core.message import Envelope, Message
+
+#: Callback invoked when a group delivers an application message:
+#: ``sink(group_id, message)``.
+DeliverySink = Callable[[GroupId, Message], None]
+
+
+class ProtocolError(RuntimeError):
+    """Raised when a protocol invariant is violated (indicates a bug)."""
+
+
+@dataclass
+class DeliveryRecord:
+    """One delivery event, as recorded by :class:`RecordingSink`."""
+
+    group: GroupId
+    message: Message
+    order: int
+    time: float = 0.0
+
+
+class RecordingSink:
+    """Delivery sink that records the per-group delivery sequences.
+
+    Used by tests and by the correctness checker to validate the atomic
+    multicast properties (prefix order, acyclic order, integrity, ...).
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = clock
+        self.records: List[DeliveryRecord] = []
+        self.per_group: Dict[GroupId, List[Message]] = {}
+
+    def __call__(self, group: GroupId, message: Message) -> None:
+        order = len(self.per_group.setdefault(group, []))
+        self.per_group[group].append(message)
+        self.records.append(
+            DeliveryRecord(
+                group=group,
+                message=message,
+                order=order,
+                time=self._clock() if self._clock else 0.0,
+            )
+        )
+
+    def sequence(self, group: GroupId) -> List[str]:
+        """Delivery order of message ids at ``group``."""
+        return [m.msg_id for m in self.per_group.get(group, [])]
+
+    def delivered_ids(self, group: GroupId) -> set:
+        return set(self.sequence(group))
+
+    def count(self, group: Optional[GroupId] = None) -> int:
+        if group is None:
+            return len(self.records)
+        return len(self.per_group.get(group, []))
+
+
+class AtomicMulticastGroup(ABC):
+    """One group (replica set abstracted to a single logical process).
+
+    Subclasses implement the actual ordering logic.  A group receives:
+
+    * client requests (``on_client_request``) when it is an entry point of a
+      multicast message, and
+    * protocol envelopes from other groups (``on_envelope``).
+
+    When the group decides to deliver a message it must call
+    ``self.deliver(message)``, which forwards to the delivery sink exactly
+    once per message (integrity is enforced here for all protocols).
+    """
+
+    def __init__(
+        self,
+        group_id: GroupId,
+        transport: Transport,
+        sink: DeliverySink,
+    ) -> None:
+        self.group_id = group_id
+        self.transport = transport
+        self._sink = sink
+        self._delivered_ids: set = set()
+        self.delivered_count = 0
+
+    # ------------------------------------------------------------- interface
+    @abstractmethod
+    def on_client_request(self, message: Message) -> None:
+        """Handle a multicast message submitted directly to this group."""
+
+    @abstractmethod
+    def on_envelope(self, sender: Hashable, envelope: Envelope) -> None:
+        """Handle a protocol envelope from another group."""
+
+    # -------------------------------------------------------------- delivery
+    def deliver(self, message: Message) -> None:
+        """Deliver ``message`` to the application exactly once."""
+        if message.msg_id in self._delivered_ids:
+            raise ProtocolError(
+                f"group {self.group_id} attempted to deliver {message.msg_id} twice"
+            )
+        if self.group_id not in message.dst:
+            raise ProtocolError(
+                f"group {self.group_id} delivered {message.msg_id} "
+                f"but is not a destination {sorted(message.dst)}"
+            )
+        self._delivered_ids.add(message.msg_id)
+        self.delivered_count += 1
+        self._sink(self.group_id, message)
+
+    def has_delivered(self, msg_id: str) -> bool:
+        return msg_id in self._delivered_ids
+
+    # ------------------------------------------------------------ networking
+    def send(self, dst: Hashable, envelope: Envelope) -> None:
+        """Ship an envelope to another node through the transport."""
+        self.transport.send(dst, envelope)
+
+
+class AtomicMulticastProtocol(ABC):
+    """A deployable protocol: knows its overlay, builds groups, routes clients.
+
+    ``entry_groups(message)`` tells a client where to submit a message:
+
+    * FlexCast / hierarchical — the single lca group;
+    * Skeen's distributed protocol — every destination group.
+    """
+
+    #: Human-readable protocol name used in reports ("FlexCast", ...).
+    name: str = "abstract"
+    #: Whether the protocol is genuine (§2.2 Minimality).
+    genuine: bool = False
+
+    def __init__(self, overlay: Overlay) -> None:
+        self.overlay = overlay
+
+    @property
+    def groups(self) -> List[GroupId]:
+        return self.overlay.groups
+
+    @abstractmethod
+    def create_group(
+        self,
+        group_id: GroupId,
+        transport: Transport,
+        sink: DeliverySink,
+    ) -> AtomicMulticastGroup:
+        """Instantiate the protocol logic for one group."""
+
+    @abstractmethod
+    def entry_groups(self, message: Message) -> List[GroupId]:
+        """Groups a client must send ``message`` to."""
+
+    def validate_message(self, message: Message) -> None:
+        """Reject messages addressed outside the overlay."""
+        self.overlay.validate_destinations(message.dst)
+
+    def describe(self) -> str:
+        return f"{self.name} on {self.overlay.describe()}"

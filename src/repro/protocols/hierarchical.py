@@ -1,0 +1,135 @@
+"""Hierarchical baseline: ByzCast-style tree atomic multicast (non-genuine).
+
+Paper §3 and §5.1: hierarchical protocols restrict communication to a tree
+overlay.  A multicast message is first sent to the lowest common ancestor of
+its destinations in the tree (worst case the root), is ordered there, and then
+flows down the tree, being ordered by every group it traverses, until it
+reaches all destinations.  The key invariant is that lower groups preserve the
+order induced by higher groups, which holds here because:
+
+* each group processes (orders) incoming messages in arrival order, and
+* channels are FIFO, so a child sees its parent's messages in the parent's
+  order.
+
+The protocol is simple and needs little per-group knowledge (only parent and
+children), but it is **not genuine**: a group that is on the dissemination
+path but not in ``m.dst`` still receives and orders ``m``.  That extra traffic
+is the *communication overhead* the paper quantifies in Figures 1 and 9; this
+implementation counts it explicitly (``payload_received`` vs ``delivered``).
+
+ByzCast additionally tolerates Byzantine failures inside groups; with the
+single-process groups used in the evaluation none of that machinery is
+exercised, so this faithful crash-stop variant is the right baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Set
+
+from ..overlay.base import GroupId
+from ..overlay.tree import TreeOverlay
+from ..core.message import ClientRequest, Envelope, Message, TreeForward
+from ..sim.transport import Transport
+from .base import (
+    AtomicMulticastGroup,
+    AtomicMulticastProtocol,
+    DeliverySink,
+    ProtocolError,
+)
+
+
+class HierarchicalGroup(AtomicMulticastGroup):
+    """One group of the tree-based protocol."""
+
+    def __init__(
+        self,
+        group_id: GroupId,
+        overlay: TreeOverlay,
+        transport: Transport,
+        sink: DeliverySink,
+    ) -> None:
+        super().__init__(group_id, transport, sink)
+        self.overlay = overlay
+        #: Local total order: every message this group ordered, in order.
+        self.local_sequence: List[str] = []
+        #: Ids already ordered here (guards against duplicate forwards).
+        self._ordered: Set[str] = set()
+        #: Payload messages received (the denominator of the overhead metric).
+        self.payload_received = 0
+        self.stats = {"forwarded": 0}
+
+    # ------------------------------------------------------------ entry points
+    def on_client_request(self, message: Message) -> None:
+        expected_entry = self.overlay.lca(message.dst)
+        if expected_entry != self.group_id:
+            raise ProtocolError(
+                f"client sent {message.msg_id} to {self.group_id}, "
+                f"but its tree lca is {expected_entry}"
+            )
+        self.payload_received += 1
+        self._order(message)
+
+    def on_envelope(self, sender: Hashable, envelope: Envelope) -> None:
+        if isinstance(envelope, ClientRequest):
+            self.on_client_request(envelope.message)
+        elif isinstance(envelope, TreeForward):
+            self.payload_received += 1
+            self._order(envelope.message)
+        else:
+            raise ProtocolError(
+                f"hierarchical group got unexpected envelope {envelope!r}"
+            )
+
+    # ---------------------------------------------------------------- algorithm
+    def _order(self, message: Message) -> None:
+        """Order ``message`` locally, deliver it if addressed here, and push it
+        toward the destinations below us in the tree."""
+        if message.msg_id in self._ordered:
+            return
+        self._ordered.add(message.msg_id)
+        self.local_sequence.append(message.msg_id)
+
+        if self.group_id in message.dst:
+            self.deliver(message)
+
+        for child in self.overlay.next_hops(self.group_id, message.dst):
+            self.send(
+                child,
+                TreeForward(message=message, sequence=len(self.local_sequence)),
+            )
+            self.stats["forwarded"] += 1
+
+    # --------------------------------------------------------------- overhead
+    def communication_overhead(self) -> float:
+        """Per-group overhead as defined in §5.8.
+
+        ``1 - delivered / received`` over payload messages; 0.0 when the group
+        received nothing (leaves in quiet runs).
+        """
+        if self.payload_received == 0:
+            return 0.0
+        return 1.0 - (self.delivered_count / self.payload_received)
+
+
+class HierarchicalProtocol(AtomicMulticastProtocol):
+    """Deployment descriptor for the hierarchical (tree) baseline."""
+
+    name = "Hierarchical"
+    genuine = False
+
+    def __init__(self, overlay: TreeOverlay) -> None:
+        if not isinstance(overlay, TreeOverlay):
+            raise TypeError("the hierarchical protocol requires a tree overlay")
+        super().__init__(overlay)
+
+    def create_group(
+        self, group_id: GroupId, transport: Transport, sink: DeliverySink
+    ) -> HierarchicalGroup:
+        return HierarchicalGroup(group_id, self.overlay, transport, sink)
+
+    def entry_groups(self, message: Message) -> List[GroupId]:
+        """Clients submit a message to the lca of its destinations in the tree
+        (which, unlike FlexCast's lca, may not be a destination at all)."""
+        self.validate_message(message)
+        return [self.overlay.lca(message.dst)]

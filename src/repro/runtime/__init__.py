@@ -1,0 +1,19 @@
+"""Asyncio/TCP runtime: the same protocols over real sockets."""
+
+from .client import AsyncMulticastClient
+from .cluster import LocalCluster
+from .codec import CodecError, decode_frame, encode_frame, read_frame
+from .node import GroupServer
+from .transport import AddressBook, AsyncioTransport
+
+__all__ = [
+    "AsyncMulticastClient",
+    "LocalCluster",
+    "CodecError",
+    "decode_frame",
+    "encode_frame",
+    "read_frame",
+    "GroupServer",
+    "AddressBook",
+    "AsyncioTransport",
+]

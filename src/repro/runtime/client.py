@@ -1,0 +1,100 @@
+"""Asyncio multicast client."""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..core.message import ClientRequest, ClientResponse, Message
+from ..overlay.base import GroupId
+from ..protocols.base import AtomicMulticastProtocol
+from .codec import CodecError, read_frame
+from .transport import AddressBook, AsyncioTransport
+
+
+class AsyncMulticastClient:
+    """A client that multicasts messages over TCP and awaits all responses.
+
+    The client runs a tiny server of its own so groups can push delivery
+    confirmations back to it (the same shape as the paper's evaluation, where
+    "upon delivering a message, each message destination replies to the
+    message's sender").
+    """
+
+    def __init__(
+        self,
+        client_id: str,
+        protocol: AtomicMulticastProtocol,
+        addresses: AddressBook,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.client_id = client_id
+        self._protocol = protocol
+        self.host = host
+        self.port = port
+        self.transport = AsyncioTransport(node_id=client_id, addresses=addresses)
+        self._server: Optional[asyncio.AbstractServer] = None
+        #: msg_id -> (expected destination count, responses received, done event)
+        self._waiting: Dict[str, Tuple[int, Dict[GroupId, float], asyncio.Event]] = {}
+        self._loop = asyncio.get_event_loop()
+
+    async def start(self) -> Tuple[str, int]:
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        self.transport.register_address(self.client_id, self.host, self.port)
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    _, envelope = await read_frame(reader)
+                except (asyncio.IncompleteReadError, CodecError):
+                    break
+                if isinstance(envelope, ClientResponse):
+                    self._on_response(envelope)
+        finally:
+            writer.close()
+
+    def _on_response(self, response: ClientResponse) -> None:
+        waiting = self._waiting.get(response.msg_id)
+        if waiting is None:
+            return
+        expected, responses, done = waiting
+        responses.setdefault(response.group, self._loop.time() * 1000.0)
+        if len(responses) >= expected:
+            done.set()
+
+    # ----------------------------------------------------------------- public
+    async def multicast(
+        self,
+        destinations: Iterable[GroupId],
+        payload=None,
+        timeout: float = 10.0,
+    ) -> Dict[GroupId, float]:
+        """Multicast a message and wait until every destination delivered it.
+
+        Returns the per-group response latencies in milliseconds.  Raises
+        ``asyncio.TimeoutError`` if some destination does not respond in time.
+        """
+        message = Message.create(
+            destinations=destinations, sender=self.client_id, payload=payload
+        )
+        done = asyncio.Event()
+        responses: Dict[GroupId, float] = {}
+        self._waiting[message.msg_id] = (len(message.dst), responses, done)
+        started = self._loop.time() * 1000.0
+        request = ClientRequest(message=message)
+        for entry in self._protocol.entry_groups(message):
+            self.transport.send(entry, request)
+        await asyncio.wait_for(done.wait(), timeout=timeout)
+        del self._waiting[message.msg_id]
+        return {group: at - started for group, at in responses.items()}

@@ -1,0 +1,183 @@
+"""Wire codec for the asyncio runtime.
+
+Every envelope the protocols exchange (plus the application-level
+:class:`~repro.core.message.Message` and history deltas) is encoded as
+length-prefixed JSON.  JSON keeps the frames debuggable with ``tcpdump``/
+``wireshark`` and avoids pickling code objects across trust boundaries; the
+size model used by the simulator (``size_bytes``) intentionally stays separate
+so simulated byte counts do not depend on JSON verbosity.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Callable, Dict, Tuple
+
+from ..core import message as msg
+
+#: 4-byte big-endian length prefix.
+_LENGTH = struct.Struct(">I")
+
+#: Maximum accepted frame size (16 MiB) — guards against corrupted prefixes.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+class CodecError(ValueError):
+    """Raised when a frame cannot be encoded or decoded."""
+
+
+# --------------------------------------------------------------- message pieces
+def _message_to_dict(m: msg.Message) -> Dict[str, Any]:
+    return {
+        "msg_id": m.msg_id,
+        "dst": sorted(m.dst),
+        "sender": m.sender,
+        "payload": m.payload,
+        "payload_bytes": m.payload_bytes,
+        "is_flush": m.is_flush,
+    }
+
+
+def _message_from_dict(d: Dict[str, Any]) -> msg.Message:
+    return msg.Message(
+        msg_id=d["msg_id"],
+        dst=frozenset(d["dst"]),
+        sender=d["sender"],
+        payload=d.get("payload"),
+        payload_bytes=d.get("payload_bytes", 64),
+        is_flush=d.get("is_flush", False),
+    )
+
+
+def _delta_to_dict(delta: msg.HistoryDelta) -> Dict[str, Any]:
+    return {
+        "vertices": [[mid, sorted(dst)] for mid, dst in delta.vertices],
+        "edges": [list(edge) for edge in delta.edges],
+        "last_delivered": delta.last_delivered,
+    }
+
+
+def _delta_from_dict(d: Dict[str, Any]) -> msg.HistoryDelta:
+    return msg.HistoryDelta(
+        vertices=tuple((mid, frozenset(dst)) for mid, dst in d.get("vertices", [])),
+        edges=tuple((a, b) for a, b in d.get("edges", [])),
+        last_delivered=d.get("last_delivered"),
+    )
+
+
+# ------------------------------------------------------------------- envelopes
+def _encode_envelope(envelope: Any) -> Dict[str, Any]:
+    if isinstance(envelope, msg.ClientRequest):
+        return {"type": "request", "message": _message_to_dict(envelope.message)}
+    if isinstance(envelope, msg.ClientResponse):
+        return {"type": "response", "msg_id": envelope.msg_id, "group": envelope.group}
+    if isinstance(envelope, msg.FlexCastMsg):
+        return {
+            "type": "flexcast-msg",
+            "message": _message_to_dict(envelope.message),
+            "history": _delta_to_dict(envelope.history),
+            "notified": sorted(envelope.notified),
+        }
+    if isinstance(envelope, msg.FlexCastAck):
+        return {
+            "type": "flexcast-ack",
+            "message": _message_to_dict(envelope.message),
+            "history": _delta_to_dict(envelope.history),
+            "from_group": envelope.from_group,
+            "notified": sorted(envelope.notified),
+        }
+    if isinstance(envelope, msg.FlexCastNotif):
+        return {
+            "type": "flexcast-notif",
+            "message": _message_to_dict(envelope.message),
+            "history": _delta_to_dict(envelope.history),
+            "from_group": envelope.from_group,
+        }
+    if isinstance(envelope, msg.SkeenTimestamp):
+        return {
+            "type": "skeen-timestamp",
+            "msg_id": envelope.msg_id,
+            "timestamp": envelope.timestamp,
+            "from_group": envelope.from_group,
+        }
+    if isinstance(envelope, msg.SkeenPropose):
+        return {"type": "skeen-propose", "message": _message_to_dict(envelope.message)}
+    if isinstance(envelope, msg.TreeForward):
+        return {
+            "type": "tree-forward",
+            "message": _message_to_dict(envelope.message),
+            "sequence": envelope.sequence,
+        }
+    raise CodecError(f"cannot encode envelope of type {type(envelope).__name__}")
+
+
+def _decode_envelope(data: Dict[str, Any]) -> Any:
+    env_type = data.get("type")
+    if env_type == "request":
+        return msg.ClientRequest(message=_message_from_dict(data["message"]))
+    if env_type == "response":
+        return msg.ClientResponse(msg_id=data["msg_id"], group=data["group"])
+    if env_type == "flexcast-msg":
+        return msg.FlexCastMsg(
+            message=_message_from_dict(data["message"]),
+            history=_delta_from_dict(data["history"]),
+            notified=frozenset(data.get("notified", [])),
+        )
+    if env_type == "flexcast-ack":
+        return msg.FlexCastAck(
+            message=_message_from_dict(data["message"]),
+            history=_delta_from_dict(data["history"]),
+            from_group=data["from_group"],
+            notified=frozenset(data.get("notified", [])),
+        )
+    if env_type == "flexcast-notif":
+        return msg.FlexCastNotif(
+            message=_message_from_dict(data["message"]),
+            history=_delta_from_dict(data["history"]),
+            from_group=data["from_group"],
+        )
+    if env_type == "skeen-timestamp":
+        return msg.SkeenTimestamp(
+            msg_id=data["msg_id"],
+            timestamp=data["timestamp"],
+            from_group=data["from_group"],
+        )
+    if env_type == "skeen-propose":
+        return msg.SkeenPropose(message=_message_from_dict(data["message"]))
+    if env_type == "tree-forward":
+        return msg.TreeForward(
+            message=_message_from_dict(data["message"]), sequence=data["sequence"]
+        )
+    raise CodecError(f"cannot decode envelope type {env_type!r}")
+
+
+# --------------------------------------------------------------------- framing
+def encode_frame(sender: Any, envelope: Any) -> bytes:
+    """Encode one (sender, envelope) frame with its length prefix."""
+    body = json.dumps(
+        {"sender": sender, "envelope": _encode_envelope(envelope)},
+        separators=(",", ":"),
+    ).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise CodecError(f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES} limit")
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> Tuple[Any, Any]:
+    """Decode a frame body (without its length prefix) into (sender, envelope)."""
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"malformed frame: {exc}") from exc
+    return data.get("sender"), _decode_envelope(data.get("envelope", {}))
+
+
+async def read_frame(reader) -> Tuple[Any, Any]:
+    """Read one length-prefixed frame from an ``asyncio.StreamReader``."""
+    header = await reader.readexactly(_LENGTH.size)
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise CodecError(f"frame length {length} exceeds the {MAX_FRAME_BYTES} limit")
+    body = await reader.readexactly(length)
+    return decode_frame(body)

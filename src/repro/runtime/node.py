@@ -1,0 +1,91 @@
+"""Runtime node: runs one protocol group as an asyncio TCP server."""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+from ..core.message import ClientResponse, Message
+from ..overlay.base import GroupId
+from ..protocols.base import AtomicMulticastProtocol
+from .codec import CodecError, read_frame
+from .transport import AddressBook, AsyncioTransport
+
+
+class GroupServer:
+    """One group of any atomic multicast protocol, served over TCP.
+
+    The server accepts frames from clients and from other groups, feeds them
+    to the group's protocol logic, and sends a :class:`ClientResponse` back to
+    the message's sender whenever the group delivers a message.  An optional
+    ``on_deliver`` callback lets applications consume deliveries directly
+    (that is the integration point for building replicated services on top).
+    """
+
+    def __init__(
+        self,
+        group_id: GroupId,
+        protocol: AtomicMulticastProtocol,
+        addresses: AddressBook,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        on_deliver: Optional[Callable[[GroupId, Message], None]] = None,
+        latencies=None,
+        sites: Optional[Dict[Hashable, int]] = None,
+    ) -> None:
+        self.group_id = group_id
+        self.host = host
+        self.port = port
+        self._on_deliver = on_deliver
+        self.transport = AsyncioTransport(
+            node_id=group_id, addresses=addresses, latencies=latencies, sites=sites
+        )
+        self.group = protocol.create_group(group_id, self.transport, self._sink)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.delivered: list = []
+        self.frames_received = 0
+
+    # ----------------------------------------------------------------- server
+    async def start(self) -> Tuple[str, int]:
+        """Start listening; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        self.transport.register_address(self.group_id, self.host, self.port)
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    sender, envelope = await read_frame(reader)
+                except (asyncio.IncompleteReadError, CodecError):
+                    break
+                self.frames_received += 1
+                self.group.on_envelope(sender, envelope)
+        finally:
+            writer.close()
+
+    # --------------------------------------------------------------- delivery
+    def _sink(self, group_id: GroupId, message: Message) -> None:
+        self.delivered.append(message)
+        if self._on_deliver is not None:
+            self._on_deliver(group_id, message)
+        sender = message.sender
+        # Respond to the client if we know how to reach it.
+        try:
+            self.transport.send(
+                sender, ClientResponse(msg_id=message.msg_id, group=group_id)
+            )
+        except KeyError:
+            pass

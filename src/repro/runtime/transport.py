@@ -1,0 +1,121 @@
+"""Asyncio TCP transport.
+
+The paper's prototype runs over TCP between machines; this transport runs the
+same protocol code over real sockets (typically on localhost for examples and
+integration tests).  It implements the :class:`~repro.sim.transport.Transport`
+interface, so :class:`~repro.core.flexcast.FlexCastGroup` and the baselines
+are byte-for-byte the same classes used in the simulator.
+
+Optionally, an artificial one-way delay can be injected per (source site,
+destination site) pair using the same latency matrix as the simulator, turning
+a localhost cluster into an emulated WAN — the same technique the paper uses
+on CloudLab.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+from ..sim.latencies import LatencyMatrix
+from ..sim.transport import Transport
+from .codec import encode_frame
+
+#: Address book: node id -> (host, port).
+AddressBook = Dict[Hashable, Tuple[str, int]]
+
+
+class AsyncioTransport(Transport):
+    """Outbound half of a runtime node.
+
+    Each ``send`` opens a short-lived TCP connection to the destination node,
+    writes one frame, and closes.  This trades throughput for simplicity and
+    robustness (no connection state machine), which is the right trade-off for
+    examples and integration tests; the simulator remains the tool for
+    performance numbers.
+    """
+
+    def __init__(
+        self,
+        node_id: Hashable,
+        addresses: AddressBook,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+        latencies: Optional[LatencyMatrix] = None,
+        sites: Optional[Dict[Hashable, int]] = None,
+    ) -> None:
+        self._node_id = node_id
+        # Kept by reference on purpose: the cluster's address book is shared so
+        # nodes learn about peers/clients that join after this transport is built.
+        self._addresses = addresses
+        self._loop = loop
+        self._latencies = latencies
+        self._sites = sites or {}
+        self.sent_frames = 0
+        self.failed_sends = 0
+
+    # ------------------------------------------------------------- utilities
+    def _event_loop(self) -> asyncio.AbstractEventLoop:
+        return self._loop or asyncio.get_event_loop()
+
+    def register_address(self, node_id: Hashable, host: str, port: int) -> None:
+        self._addresses[node_id] = (host, port)
+
+    def _delay_to(self, dst: Hashable) -> float:
+        """Injected one-way delay in seconds (0 when no latency matrix is set)."""
+        if self._latencies is None:
+            return 0.0
+        src_site = self._sites.get(self._node_id)
+        dst_site = self._sites.get(dst)
+        if src_site is None or dst_site is None:
+            return 0.0
+        return self._latencies.latency(src_site, dst_site) / 1000.0
+
+    # -------------------------------------------------------------- interface
+    def send(self, dst: Hashable, payload: Any) -> None:
+        """Fire-and-forget delivery of ``payload`` to ``dst``.
+
+        Scheduling is done on the running asyncio loop; failures (destination
+        down) are counted but not raised, mirroring the asynchronous-system
+        model in which message loss before GST is possible.
+        """
+        if dst not in self._addresses:
+            raise KeyError(f"unknown destination node {dst!r}")
+        frame = encode_frame(self._node_id, payload)
+        delay = self._delay_to(dst)
+        loop = self._event_loop()
+        loop.call_soon_threadsafe(
+            lambda: loop.create_task(self._deliver(dst, frame, delay))
+        )
+
+    async def _deliver(self, dst: Hashable, frame: bytes, delay: float) -> None:
+        if delay > 0:
+            await asyncio.sleep(delay)
+        host, port = self._addresses[dst]
+        try:
+            _, writer = await asyncio.open_connection(host, port)
+        except OSError:
+            self.failed_sends += 1
+            return
+        try:
+            writer.write(frame)
+            await writer.drain()
+            self.sent_frames += 1
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:  # pragma: no cover - platform dependent
+                pass
+
+    def now(self) -> float:
+        """Wall-clock milliseconds (monotonic), matching the simulator's unit."""
+        return self._event_loop().time() * 1000.0
+
+    def schedule(self, delay_ms: float, callback: Callable[[], None]):
+        handle = self._event_loop().call_later(delay_ms / 1000.0, callback)
+
+        class _Handle:
+            def cancel(self_inner) -> None:
+                handle.cancel()
+
+        return _Handle()

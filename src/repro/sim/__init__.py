@@ -1,0 +1,32 @@
+"""Discrete-event wide-area network substrate.
+
+This subpackage replaces the paper's CloudLab/AWS testbed: a deterministic
+event loop (:mod:`repro.sim.events`), a 12-region AWS-style latency matrix
+(:mod:`repro.sim.latencies`), a FIFO reliable network with traffic accounting
+(:mod:`repro.sim.network`) and the transport abstraction protocol code is
+written against (:mod:`repro.sim.transport`).
+"""
+
+from .events import EventHandle, EventLoop, PeriodicTimer
+from .latencies import AWS_REGIONS, NUM_REGIONS, LatencyMatrix, Region, aws_latency_matrix, default_regions
+from .network import Network, NodeId, NodeTraffic, payload_size
+from .transport import RecordingTransport, SimTransport, Transport
+
+__all__ = [
+    "EventHandle",
+    "EventLoop",
+    "PeriodicTimer",
+    "AWS_REGIONS",
+    "NUM_REGIONS",
+    "LatencyMatrix",
+    "Region",
+    "aws_latency_matrix",
+    "default_regions",
+    "Network",
+    "NodeId",
+    "NodeTraffic",
+    "payload_size",
+    "RecordingTransport",
+    "SimTransport",
+    "Transport",
+]

@@ -1,0 +1,115 @@
+"""Transport abstraction shared by the simulator and the asyncio runtime.
+
+Protocol code (FlexCast, Skeen, hierarchical) never talks to the network or
+the event loop directly.  It is written against the tiny :class:`Transport`
+interface below, so exactly the same protocol implementation runs:
+
+* inside the discrete-event simulator (:class:`SimTransport`), which is what
+  all benchmarks use, and
+* over real TCP sockets in the asyncio runtime
+  (:class:`repro.runtime.transport.AsyncioTransport`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Optional
+
+from .events import EventLoop
+from .network import Network, NodeId
+
+
+class Transport:
+    """Minimal interface protocol groups use to talk to the world.
+
+    Implementations must provide:
+
+    ``send(dst, payload)``
+        Asynchronously deliver ``payload`` to node ``dst``.
+    ``now()``
+        Current time in milliseconds (virtual or wall-clock).
+    ``schedule(delay_ms, callback)``
+        Run ``callback`` after ``delay_ms``; returns an object with a
+        ``cancel()`` method.
+    """
+
+    def send(self, dst: NodeId, payload: Any) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def now(self) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def schedule(self, delay_ms: float, callback: Callable[[], None]):  # pragma: no cover
+        raise NotImplementedError
+
+
+class SimTransport(Transport):
+    """Transport bound to one node of the simulated network."""
+
+    def __init__(self, network: Network, node_id: NodeId) -> None:
+        self._network = network
+        self._node_id = node_id
+
+    @property
+    def node_id(self) -> NodeId:
+        return self._node_id
+
+    def send(self, dst: NodeId, payload: Any) -> None:
+        self._network.send(self._node_id, dst, payload)
+
+    def now(self) -> float:
+        return self._network.loop.now
+
+    def schedule(self, delay_ms: float, callback: Callable[[], None]):
+        return self._network.loop.schedule(delay_ms, callback)
+
+
+class RecordingTransport(Transport):
+    """In-memory transport for unit tests.
+
+    Captures every ``send`` in :attr:`sent` instead of delivering it, and lets
+    the test advance a fake clock.  This keeps protocol unit tests independent
+    from the network substrate.
+    """
+
+    def __init__(self, node_id: NodeId = "test-node") -> None:
+        self.node_id = node_id
+        self.sent = []  # list of (dst, payload)
+        self._now = 0.0
+        self._scheduled = []  # list of (time, callback)
+
+    def send(self, dst: NodeId, payload: Any) -> None:
+        self.sent.append((dst, payload))
+
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay_ms: float, callback: Callable[[], None]):
+        entry = [self._now + delay_ms, callback, False]
+        self._scheduled.append(entry)
+
+        class _Handle:
+            def cancel(self_inner) -> None:
+                entry[2] = True
+
+        return _Handle()
+
+    # Test helpers -----------------------------------------------------------
+    def advance(self, delta_ms: float) -> None:
+        """Advance the fake clock, firing due scheduled callbacks in order."""
+        target = self._now + delta_ms
+        due = sorted(
+            (e for e in self._scheduled if e[0] <= target and not e[2]),
+            key=lambda e: e[0],
+        )
+        for entry in due:
+            self._now = entry[0]
+            entry[2] = True
+            entry[1]()
+        self._now = target
+
+    def sent_to(self, dst: NodeId):
+        """All payloads sent to ``dst`` so far."""
+        return [payload for d, payload in self.sent if d == dst]
+
+    def clear(self) -> None:
+        self.sent.clear()

@@ -1,0 +1,35 @@
+"""State machine replication substrate: Paxos, multi-Paxos, replicated groups."""
+
+from .multipaxos import ClientCommand, Commit, Heartbeat, MultiPaxosReplica
+from .paxos import (
+    Accept,
+    Accepted,
+    Acceptor,
+    Ballot,
+    Nack,
+    Prepare,
+    Promise,
+    Proposer,
+    ZERO_BALLOT,
+)
+from .replica import GroupReplica, OrderedEnvelope, ReplicatedGroup, replica_node
+
+__all__ = [
+    "ClientCommand",
+    "Commit",
+    "Heartbeat",
+    "MultiPaxosReplica",
+    "Accept",
+    "Accepted",
+    "Acceptor",
+    "Ballot",
+    "Nack",
+    "Prepare",
+    "Promise",
+    "Proposer",
+    "ZERO_BALLOT",
+    "GroupReplica",
+    "OrderedEnvelope",
+    "ReplicatedGroup",
+    "replica_node",
+]

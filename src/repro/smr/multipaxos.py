@@ -1,0 +1,275 @@
+"""Multi-Paxos replicated log.
+
+A group in FlexCast (and in the baseline protocols) is "a reliable entity
+whose logic is replicated within the group using state machine replication"
+(§4.4).  :class:`MultiPaxosReplica` provides that substrate: a set of replicas
+agree on a totally ordered log of commands; each replica applies committed
+commands, in log order, to an application callback.
+
+Design points (kept simple on purpose — this is the substrate, not the paper's
+contribution):
+
+* a stable leader (lowest-id live replica) runs phase 1 lazily per instance
+  and drives phase 2; followers forward client commands to the leader;
+* every replica is also an acceptor and a learner;
+* commit notifications are piggybacked as explicit ``Commit`` messages from
+  the leader, so followers apply commands without observing quorums
+  themselves;
+* leader failure is handled by an explicit ``fail_over`` trigger (tests) or by
+  a heartbeat timeout when running on the simulator with timers enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Set
+
+from ..sim.transport import Transport
+from .paxos import Accept, Accepted, Acceptor, Ballot, Nack, Prepare, Promise, Proposer
+
+ReplicaId = Hashable
+ApplyCallback = Callable[[int, Any], None]
+
+
+@dataclass(frozen=True)
+class ClientCommand:
+    """A command submitted to the replicated log."""
+
+    payload: Any
+    kind: str = field(default="smr-command", init=False)
+
+    def size_bytes(self) -> int:
+        from ..sim.network import payload_size
+
+        return 32 + payload_size(self.payload)
+
+
+@dataclass(frozen=True)
+class Commit:
+    """Leader -> followers: instance ``instance`` decided on ``value``."""
+
+    instance: int
+    value: Any
+    kind: str = field(default="smr-commit", init=False)
+
+    def size_bytes(self) -> int:
+        from ..sim.network import payload_size
+
+        return 40 + payload_size(self.value)
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Leader liveness signal (also re-announces the current leader)."""
+
+    leader: ReplicaId
+    kind: str = field(default="smr-heartbeat", init=False)
+
+    def size_bytes(self) -> int:
+        return 24
+
+
+class MultiPaxosReplica:
+    """One replica of a replicated log.
+
+    Parameters
+    ----------
+    replica_id:
+        This replica's id (hashable; ordering of ids defines the default
+        leader — the smallest id).
+    peers:
+        Ids of *all* replicas in the group, including this one.
+    transport:
+        Outbound channel to the other replicas.
+    apply:
+        Callback ``apply(instance, command_payload)`` invoked exactly once per
+        committed log position, in order.
+    """
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        peers: Sequence[ReplicaId],
+        transport: Transport,
+        apply: ApplyCallback,
+    ) -> None:
+        if replica_id not in peers:
+            raise ValueError("replica_id must be listed in peers")
+        self.replica_id = replica_id
+        self.peers: List[ReplicaId] = sorted(peers, key=str)
+        self.transport = transport
+        self._apply = apply
+        self.quorum_size = len(self.peers) // 2 + 1
+
+        self.acceptor = Acceptor(replica_id)
+        self._proposers: Dict[int, Proposer] = {}
+        self._proposer_index = self.peers.index(replica_id)
+        self._next_instance = 0
+        self._decided: Dict[int, Any] = {}
+        self._applied_up_to = -1
+        self._pending_commands: List[Any] = []
+        #: Replicas believed to be alive (failure detection input).
+        self.alive: Set[ReplicaId] = set(self.peers)
+        self.stats = {"proposed": 0, "committed": 0, "forwarded": 0, "nacks": 0}
+
+    # ------------------------------------------------------------- leadership
+    @property
+    def leader(self) -> ReplicaId:
+        """Current leader: the smallest replica id believed alive."""
+        live = [p for p in self.peers if p in self.alive]
+        return live[0] if live else self.replica_id
+
+    @property
+    def is_leader(self) -> bool:
+        return self.leader == self.replica_id
+
+    def mark_failed(self, replica: ReplicaId) -> None:
+        """Failure-detector input: ``replica`` is considered crashed.
+
+        If the crashed replica was the leader, this replica may become the new
+        leader and will re-propose any undecided pending commands.
+        """
+        self.alive.discard(replica)
+        if self.is_leader:
+            commands, self._pending_commands = self._pending_commands, []
+            for command in commands:
+                self.submit(command)
+
+    def mark_alive(self, replica: ReplicaId) -> None:
+        self.alive.add(replica)
+
+    # ------------------------------------------------------------ client path
+    def submit(self, command: Any) -> None:
+        """Submit a command for total ordering.
+
+        Leaders start a Paxos instance for it; followers forward it to the
+        leader (and stash a copy so it can be re-proposed after fail-over).
+        """
+        if self.is_leader:
+            self._propose(command)
+        else:
+            self._pending_commands.append(command)
+            self.stats["forwarded"] += 1
+            self.transport.send(self.leader, ClientCommand(payload=command))
+
+    def _propose(self, command: Any) -> None:
+        instance = self._next_instance
+        self._next_instance += 1
+        ballot = Ballot(round=0, proposer=self._proposer_index)
+        proposer = Proposer(
+            instance=instance, ballot=ballot, value=command, quorum_size=self.quorum_size
+        )
+        self._proposers[instance] = proposer
+        self.stats["proposed"] += 1
+        self._broadcast(proposer.prepare_message())
+
+    def _retry(self, instance: int) -> None:
+        """Re-run an instance with a higher ballot after a nack."""
+        old = self._proposers[instance]
+        new_ballot = Ballot(
+            round=max(old.ballot.round, (old.preempted_by or old.ballot).round) + 1,
+            proposer=self._proposer_index,
+        )
+        proposer = Proposer(
+            instance=instance,
+            ballot=new_ballot,
+            value=old.value,
+            quorum_size=self.quorum_size,
+        )
+        self._proposers[instance] = proposer
+        self._broadcast(proposer.prepare_message())
+
+    # -------------------------------------------------------------- messaging
+    def _broadcast(self, message: Any) -> None:
+        for peer in self.peers:
+            if peer == self.replica_id:
+                self._handle_local(message)
+            elif peer in self.alive:
+                # Crashed replicas are skipped; quorums among the survivors
+                # are enough as long as a majority remains (Paxos guarantee).
+                self.transport.send(peer, message)
+
+    def _handle_local(self, message: Any) -> None:
+        # The proposer is its own acceptor; loop the message back directly.
+        self.on_message(self.replica_id, message)
+
+    def on_message(self, sender: ReplicaId, message: Any) -> None:
+        """Network entry point: dispatch every SMR-related message."""
+        if isinstance(message, ClientCommand):
+            self.submit(message.payload)
+        elif isinstance(message, Prepare):
+            reply = self.acceptor.on_prepare(message)
+            self._reply(sender, reply)
+        elif isinstance(message, Accept):
+            reply = self.acceptor.on_accept(message)
+            self._reply(sender, reply)
+        elif isinstance(message, Promise):
+            self._on_promise(message)
+        elif isinstance(message, Accepted):
+            self._on_accepted(message)
+        elif isinstance(message, Nack):
+            self._on_nack(message)
+        elif isinstance(message, Commit):
+            self._learn(message.instance, message.value)
+        elif isinstance(message, Heartbeat):
+            self.mark_alive(message.leader)
+        else:
+            raise TypeError(f"unexpected SMR message {message!r}")
+
+    def _reply(self, sender: ReplicaId, reply: Any) -> None:
+        if sender == self.replica_id:
+            self.on_message(self.replica_id, reply)
+        else:
+            self.transport.send(sender, reply)
+
+    # ------------------------------------------------------------- proposer side
+    def _on_promise(self, promise: Promise) -> None:
+        proposer = self._proposers.get(promise.instance)
+        if proposer is None:
+            return
+        if proposer.on_promise(promise):
+            self._broadcast(proposer.accept_message())
+
+    def _on_accepted(self, accepted: Accepted) -> None:
+        proposer = self._proposers.get(accepted.instance)
+        if proposer is None:
+            return
+        if proposer.on_accepted(accepted):
+            self.stats["committed"] += 1
+            self._learn(accepted.instance, proposer.value)
+            for peer in self.peers:
+                if peer != self.replica_id and peer in self.alive:
+                    self.transport.send(
+                        peer, Commit(instance=accepted.instance, value=proposer.value)
+                    )
+
+    def _on_nack(self, nack: Nack) -> None:
+        proposer = self._proposers.get(nack.instance)
+        if proposer is None or proposer.chosen:
+            return
+        self.stats["nacks"] += 1
+        proposer.on_nack(nack)
+        self._retry(nack.instance)
+
+    # ---------------------------------------------------------------- learner
+    def _learn(self, instance: int, value: Any) -> None:
+        if instance in self._decided:
+            return
+        self._decided[instance] = value
+        self._next_instance = max(self._next_instance, instance + 1)
+        # A follower stashes forwarded commands so it can re-propose them after
+        # a leader crash; once a command is decided it must not be re-proposed.
+        self._pending_commands = [c for c in self._pending_commands if c != value]
+        # Apply every contiguous decided instance exactly once, in order.
+        while self._applied_up_to + 1 in self._decided:
+            self._applied_up_to += 1
+            self._apply(self._applied_up_to, self._decided[self._applied_up_to])
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def log(self) -> List[Any]:
+        """The applied prefix of the replicated log."""
+        return [self._decided[i] for i in range(self._applied_up_to + 1)]
+
+    def decided_count(self) -> int:
+        return len(self._decided)

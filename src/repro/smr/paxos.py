@@ -1,0 +1,229 @@
+"""Single-decree Paxos.
+
+Paper §4.4: FlexCast (like the other atomic multicast protocols it is compared
+against) tolerates failures by replicating each group with state machine
+replication; the paper explicitly mentions Paxos as the consensus protocol
+used inside a group.  This module implements the single-decree synod protocol
+(prepare/promise, accept/accepted) used by the multi-Paxos log in
+:mod:`repro.smr.multipaxos`.
+
+The implementation is transport-agnostic: an :class:`Acceptor` is a pure state
+machine, and :class:`Proposer` drives one ballot.  Both are deliberately free
+of timers; leader election and retries live one level up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+ReplicaId = Any
+
+
+@dataclass(frozen=True)
+class Ballot:
+    """A totally ordered ballot number: (round, proposer id)."""
+
+    round: int
+    proposer: int
+
+    def __lt__(self, other: "Ballot") -> bool:
+        return (self.round, self.proposer) < (other.round, other.proposer)
+
+    def __le__(self, other: "Ballot") -> bool:
+        return (self.round, self.proposer) <= (other.round, other.proposer)
+
+    def next(self) -> "Ballot":
+        return Ballot(self.round + 1, self.proposer)
+
+
+#: The "no ballot yet" sentinel, smaller than every real ballot.
+ZERO_BALLOT = Ballot(-1, -1)
+
+
+# ------------------------------------------------------------------ wire types
+@dataclass(frozen=True)
+class Prepare:
+    """Phase 1a: a proposer asks acceptors to promise ballot ``ballot``."""
+
+    instance: int
+    ballot: Ballot
+    kind: str = field(default="paxos-prepare", init=False)
+
+    def size_bytes(self) -> int:
+        return 48
+
+
+@dataclass(frozen=True)
+class Promise:
+    """Phase 1b: an acceptor promises, reporting any previously accepted value."""
+
+    instance: int
+    ballot: Ballot
+    accepted_ballot: Ballot
+    accepted_value: Any
+    from_replica: ReplicaId
+    kind: str = field(default="paxos-promise", init=False)
+
+    def size_bytes(self) -> int:
+        return 64
+
+
+@dataclass(frozen=True)
+class Accept:
+    """Phase 2a: the proposer asks acceptors to accept ``value`` at ``ballot``."""
+
+    instance: int
+    ballot: Ballot
+    value: Any
+    kind: str = field(default="paxos-accept", init=False)
+
+    def size_bytes(self) -> int:
+        return 64
+
+
+@dataclass(frozen=True)
+class Accepted:
+    """Phase 2b: an acceptor accepted ``value`` at ``ballot``."""
+
+    instance: int
+    ballot: Ballot
+    value: Any
+    from_replica: ReplicaId
+    kind: str = field(default="paxos-accepted", init=False)
+
+    def size_bytes(self) -> int:
+        return 64
+
+
+@dataclass(frozen=True)
+class Nack:
+    """An acceptor refused a ballot because it promised a higher one."""
+
+    instance: int
+    ballot: Ballot
+    promised: Ballot
+    from_replica: ReplicaId
+    kind: str = field(default="paxos-nack", init=False)
+
+    def size_bytes(self) -> int:
+        return 48
+
+
+# --------------------------------------------------------------------- acceptor
+class Acceptor:
+    """Paxos acceptor state for a sequence of instances."""
+
+    def __init__(self, replica_id: ReplicaId) -> None:
+        self.replica_id = replica_id
+        self._promised: Dict[int, Ballot] = {}
+        self._accepted: Dict[int, Tuple[Ballot, Any]] = {}
+
+    def on_prepare(self, prepare: Prepare):
+        """Handle phase 1a; returns a :class:`Promise` or a :class:`Nack`."""
+        promised = self._promised.get(prepare.instance, ZERO_BALLOT)
+        if prepare.ballot <= promised and promised != ZERO_BALLOT:
+            return Nack(
+                instance=prepare.instance,
+                ballot=prepare.ballot,
+                promised=promised,
+                from_replica=self.replica_id,
+            )
+        self._promised[prepare.instance] = prepare.ballot
+        accepted_ballot, accepted_value = self._accepted.get(
+            prepare.instance, (ZERO_BALLOT, None)
+        )
+        return Promise(
+            instance=prepare.instance,
+            ballot=prepare.ballot,
+            accepted_ballot=accepted_ballot,
+            accepted_value=accepted_value,
+            from_replica=self.replica_id,
+        )
+
+    def on_accept(self, accept: Accept):
+        """Handle phase 2a; returns an :class:`Accepted` or a :class:`Nack`."""
+        promised = self._promised.get(accept.instance, ZERO_BALLOT)
+        if accept.ballot < promised:
+            return Nack(
+                instance=accept.instance,
+                ballot=accept.ballot,
+                promised=promised,
+                from_replica=self.replica_id,
+            )
+        self._promised[accept.instance] = accept.ballot
+        self._accepted[accept.instance] = (accept.ballot, accept.value)
+        return Accepted(
+            instance=accept.instance,
+            ballot=accept.ballot,
+            value=accept.value,
+            from_replica=self.replica_id,
+        )
+
+    def accepted_value(self, instance: int) -> Optional[Any]:
+        entry = self._accepted.get(instance)
+        return entry[1] if entry else None
+
+
+# --------------------------------------------------------------------- proposer
+class Proposer:
+    """Drives one Paxos instance from one proposer's point of view."""
+
+    def __init__(
+        self,
+        instance: int,
+        ballot: Ballot,
+        value: Any,
+        quorum_size: int,
+    ) -> None:
+        self.instance = instance
+        self.ballot = ballot
+        self.value = value
+        self.quorum_size = quorum_size
+        self._promises: Dict[ReplicaId, Promise] = {}
+        self._accepts: Set[ReplicaId] = set()
+        self.phase2_started = False
+        self.chosen = False
+        self.preempted_by: Optional[Ballot] = None
+
+    # ----------------------------------------------------------------- phase 1
+    def on_promise(self, promise: Promise) -> bool:
+        """Record a promise; returns True when phase 2 may start."""
+        if promise.ballot != self.ballot or self.phase2_started:
+            return False
+        self._promises[promise.from_replica] = promise
+        if len(self._promises) < self.quorum_size:
+            return False
+        # Adopt the highest previously accepted value, if any (Paxos rule).
+        best: Tuple[Ballot, Any] = (ZERO_BALLOT, None)
+        for p in self._promises.values():
+            if p.accepted_value is not None and best[0] < p.accepted_ballot:
+                best = (p.accepted_ballot, p.accepted_value)
+        if best[1] is not None:
+            self.value = best[1]
+        self.phase2_started = True
+        return True
+
+    def accept_message(self) -> Accept:
+        if not self.phase2_started:
+            raise RuntimeError("phase 2 not started: quorum of promises missing")
+        return Accept(instance=self.instance, ballot=self.ballot, value=self.value)
+
+    def prepare_message(self) -> Prepare:
+        return Prepare(instance=self.instance, ballot=self.ballot)
+
+    # ----------------------------------------------------------------- phase 2
+    def on_accepted(self, accepted: Accepted) -> bool:
+        """Record an accepted; returns True exactly once, when the value is chosen."""
+        if accepted.ballot != self.ballot or self.chosen:
+            return False
+        self._accepts.add(accepted.from_replica)
+        if len(self._accepts) >= self.quorum_size:
+            self.chosen = True
+            return True
+        return False
+
+    def on_nack(self, nack: Nack) -> None:
+        """A higher ballot exists; the caller should retry with a higher ballot."""
+        if self.preempted_by is None or self.preempted_by < nack.promised:
+            self.preempted_by = nack.promised

@@ -1,0 +1,240 @@
+"""Replicated atomic multicast groups (paper §4.4).
+
+The evaluation in the paper runs single-process groups to isolate protocol
+costs, but the fault-tolerance story is state machine replication inside every
+group: "processes within a group are kept consistent using state machine
+replication ... groups do not fail as a whole".
+
+:class:`ReplicatedGroup` provides exactly that wrapper on top of the
+:class:`~repro.smr.multipaxos.MultiPaxosReplica` log:
+
+* every envelope addressed to the logical group is first submitted to the
+  group's replicated log (by whichever replica received it);
+* once a log position commits, **every** replica applies the envelope to its
+  own copy of the protocol state machine (FlexCast/Skeen/tree group logic), so
+  all replicas stay in sync;
+* only the current leader's copy actually emits outbound protocol messages and
+  client responses — otherwise descendants/clients would receive duplicates;
+  after a fail-over, the new leader's copy continues from the same applied
+  state, because it applied the same log prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
+
+from ..core.message import ClientRequest, Envelope, Message
+from ..overlay.base import GroupId
+from ..protocols.base import AtomicMulticastGroup, AtomicMulticastProtocol, DeliverySink
+from ..sim.transport import Transport
+from .multipaxos import MultiPaxosReplica, ReplicaId
+
+
+@dataclass(frozen=True)
+class OrderedEnvelope:
+    """Log entry: an envelope (plus its original sender) ordered by the group."""
+
+    sender: Hashable
+    envelope: Envelope
+
+    def size_bytes(self) -> int:
+        return 16 + self.envelope.size_bytes()
+
+
+class _GatedTransport(Transport):
+    """Transport wrapper that drops outbound traffic unless the gate is open.
+
+    Replicas all apply every envelope to their protocol copy; only the leader
+    may let the resulting outbound messages reach the network.
+    """
+
+    def __init__(self, inner: Transport) -> None:
+        self._inner = inner
+        self.open = False
+
+    def send(self, dst, payload) -> None:
+        if self.open:
+            self._inner.send(dst, payload)
+
+    def now(self) -> float:
+        return self._inner.now()
+
+    def schedule(self, delay_ms: float, callback: Callable[[], None]):
+        return self._inner.schedule(delay_ms, callback)
+
+
+class GroupReplica:
+    """One physical replica of a logical group."""
+
+    def __init__(
+        self,
+        group_id: GroupId,
+        replica_id: ReplicaId,
+        peer_replicas: Sequence[ReplicaId],
+        protocol: AtomicMulticastProtocol,
+        transport: Transport,
+        sink: DeliverySink,
+    ) -> None:
+        self.group_id = group_id
+        self.replica_id = replica_id
+        self._gated = _GatedTransport(transport)
+        self._outer_transport = transport
+        # Each replica holds its own copy of the protocol state machine.
+        self.protocol_state: AtomicMulticastGroup = protocol.create_group(
+            group_id, self._gated, self._make_sink(sink)
+        )
+        self.smr = MultiPaxosReplica(
+            replica_id=replica_id,
+            peers=peer_replicas,
+            transport=transport,
+            apply=self._apply,
+        )
+        self.applied: List[OrderedEnvelope] = []
+
+    def _make_sink(self, sink: DeliverySink) -> DeliverySink:
+        def gated_sink(group_id: GroupId, message: Message) -> None:
+            # Every replica records the delivery locally (state machine), but
+            # only the leader reports it to the outside world.
+            if self.smr.is_leader:
+                sink(group_id, message)
+
+        return gated_sink
+
+    # ------------------------------------------------------------- networking
+    def on_message(self, sender: Hashable, payload: Any) -> None:
+        """Entry point for everything arriving at this replica.
+
+        Protocol envelopes (from clients or other groups) are ordered through
+        the group's log; SMR-internal messages go straight to multi-Paxos.
+        """
+        if isinstance(payload, Envelope):
+            self.smr.submit(OrderedEnvelope(sender=sender, envelope=payload))
+        else:
+            self.smr.on_message(sender, payload)
+
+    def _apply(self, instance: int, entry: OrderedEnvelope) -> None:
+        self.applied.append(entry)
+        self._gated.open = self.smr.is_leader
+        try:
+            self.protocol_state.on_envelope(entry.sender, entry.envelope)
+        finally:
+            self._gated.open = False
+
+    # -------------------------------------------------------------- failover
+    def mark_failed(self, replica: ReplicaId) -> None:
+        self.smr.mark_failed(replica)
+
+    @property
+    def is_leader(self) -> bool:
+        return self.smr.is_leader
+
+
+def replica_node(group_id: GroupId, index: int) -> str:
+    """Network node id of replica ``index`` of group ``group_id``."""
+    return f"group-{group_id}-replica-{index}"
+
+
+class ReplicatedGroup:
+    """A logical group made of ``replication_factor`` replicas.
+
+    This is the deployment helper used by tests and the fault-tolerance
+    example: it registers every replica on the simulated network and exposes
+    the logical group through its current leader.
+    """
+
+    def __init__(
+        self,
+        group_id: GroupId,
+        protocol: AtomicMulticastProtocol,
+        network,
+        site: int,
+        sink: DeliverySink,
+        replication_factor: int = 3,
+    ) -> None:
+        if replication_factor < 1:
+            raise ValueError("replication factor must be at least 1")
+        self.group_id = group_id
+        self.replicas: List[GroupReplica] = []
+        self._crashed_indices: set = set()
+        replica_ids = [replica_node(group_id, i) for i in range(replication_factor)]
+        for replica_id in replica_ids:
+            transport = _ReplicaTransport(network, replica_id, group_id, replica_ids)
+            replica = GroupReplica(
+                group_id=group_id,
+                replica_id=replica_id,
+                peer_replicas=replica_ids,
+                protocol=protocol,
+                transport=transport,
+                sink=sink,
+            )
+            self.replicas.append(replica)
+            network.register(replica_id, site=site, handler=replica.on_message)
+
+    @property
+    def leader(self) -> GroupReplica:
+        for index, replica in enumerate(self.replicas):
+            if index in self._crashed_indices:
+                continue
+            if replica.is_leader:
+                return replica
+        # All replicas crashed (or none claims leadership): fall back to the
+        # first survivor so callers still get a deterministic answer.
+        for index, replica in enumerate(self.replicas):
+            if index not in self._crashed_indices:
+                return replica
+        return self.replicas[0]
+
+    def crash_replica(self, index: int, network) -> None:
+        """Crash one replica: unregister it and inform the survivors."""
+        victim = self.replicas[index]
+        self._crashed_indices.add(index)
+        network.unregister(victim.replica_id)
+        for replica in self.replicas:
+            if replica is not victim:
+                replica.mark_failed(victim.replica_id)
+
+    def delivered_sequences(self) -> Dict[ReplicaId, List[str]]:
+        """Delivery order applied at each replica (for consistency checks)."""
+        sequences: Dict[ReplicaId, List[str]] = {}
+        for replica in self.replicas:
+            ids = [
+                entry.envelope.message.msg_id
+                for entry in replica.applied
+                if isinstance(entry.envelope, ClientRequest)
+            ]
+            sequences[replica.replica_id] = ids
+        return sequences
+
+
+class _ReplicaTransport(Transport):
+    """Transport for a replica: group-level destinations go to the peer
+    group's *first* replica (its default leader); replica-level destinations go
+    directly to that replica."""
+
+    def __init__(self, network, node_id: str, group_id: GroupId, peer_replicas) -> None:
+        self._network = network
+        self._node_id = node_id
+        self._group_id = group_id
+        self._peer_replicas = list(peer_replicas)
+
+    def send(self, dst, payload) -> None:
+        if isinstance(dst, str) and dst.startswith("group-") and "-replica-" in dst:
+            target = dst
+        elif dst in self._peer_replicas:
+            target = dst
+        elif isinstance(dst, int):
+            # Another logical group: address its replica 0 (default leader).
+            target = replica_node(dst, 0)
+            if not self._network.is_registered(target):
+                return
+        else:
+            target = dst
+        if self._network.is_registered(target):
+            self._network.send(self._node_id, target, payload)
+
+    def now(self) -> float:
+        return self._network.loop.now
+
+    def schedule(self, delay_ms: float, callback: Callable[[], None]):
+        return self._network.loop.schedule(delay_ms, callback)

@@ -1,0 +1,38 @@
+"""gTPC-C workload: TPC-C transaction profiles plus geographic locality."""
+
+from .clients import ClosedLoopClient, CompletedTransaction
+from .gtpcc import GTPCCConfig, GTPCCWorkload, Transaction
+from .tpcc import (
+    GLOBAL_ONLY_MIX,
+    NEW_ORDER_MAX_ITEMS,
+    NEW_ORDER_MIN_ITEMS,
+    NEW_ORDER_REMOTE_ITEM_PROB,
+    PAYMENT_REMOTE_PROB,
+    PAYLOAD_BYTES,
+    SINGLE_WAREHOUSE_TYPES,
+    STANDARD_MIX,
+    TransactionProfile,
+    TransactionType,
+    choose_transaction_type,
+    sample_profile,
+)
+
+__all__ = [
+    "ClosedLoopClient",
+    "CompletedTransaction",
+    "GTPCCConfig",
+    "GTPCCWorkload",
+    "Transaction",
+    "GLOBAL_ONLY_MIX",
+    "NEW_ORDER_MAX_ITEMS",
+    "NEW_ORDER_MIN_ITEMS",
+    "NEW_ORDER_REMOTE_ITEM_PROB",
+    "PAYMENT_REMOTE_PROB",
+    "PAYLOAD_BYTES",
+    "SINGLE_WAREHOUSE_TYPES",
+    "STANDARD_MIX",
+    "TransactionProfile",
+    "TransactionType",
+    "choose_transaction_type",
+    "sample_profile",
+]

@@ -1,0 +1,130 @@
+"""TPC-C transaction profiles (the non-geographic half of gTPC-C).
+
+The paper's gTPC-C benchmark (§5.3) keeps TPC-C's transaction mix and remote
+access probabilities and adds geographic locality on top.  This module holds
+the TPC-C side: the five transaction types, their standard mix, how many items
+a new-order touches, and the per-item / per-payment probability of involving a
+remote warehouse.  The geographic part (which remote warehouse, given a
+locality rate) lives in :mod:`repro.workload.gtpcc`.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+class TransactionType(enum.Enum):
+    """The five TPC-C transaction types."""
+
+    NEW_ORDER = "new_order"
+    PAYMENT = "payment"
+    ORDER_STATUS = "order_status"
+    DELIVERY = "delivery"
+    STOCK_LEVEL = "stock_level"
+
+
+#: Standard TPC-C transaction mix (probability of each type), §5.3.
+STANDARD_MIX: Dict[TransactionType, float] = {
+    TransactionType.NEW_ORDER: 0.45,
+    TransactionType.PAYMENT: 0.43,
+    TransactionType.ORDER_STATUS: 0.04,
+    TransactionType.DELIVERY: 0.04,
+    TransactionType.STOCK_LEVEL: 0.04,
+}
+
+#: Mix used for the latency experiments: only the transaction types that can be
+#: global (multi-warehouse), renormalised — order status, delivery and stock
+#: level are always single-warehouse and "all multicast protocols perform the
+#: same when ordering a message multicast to a single group".
+GLOBAL_ONLY_MIX: Dict[TransactionType, float] = {
+    TransactionType.NEW_ORDER: 0.45 / 0.88,
+    TransactionType.PAYMENT: 0.43 / 0.88,
+}
+
+#: New-order transactions touch between 5 and 15 items (TPC-C spec).
+NEW_ORDER_MIN_ITEMS = 5
+NEW_ORDER_MAX_ITEMS = 15
+
+#: Probability that a new-order item is supplied by a remote warehouse (TPC-C).
+NEW_ORDER_REMOTE_ITEM_PROB = 0.02
+
+#: Probability that a payment is made by a customer of a remote warehouse (TPC-C).
+PAYMENT_REMOTE_PROB = 0.15
+
+#: Approximate serialized payload sizes in bytes per transaction type, used for
+#: the traffic accounting in Figure 8.  (Order of magnitude of the request
+#: parameters TPC-C defines; only relative consistency matters.)
+PAYLOAD_BYTES: Dict[TransactionType, int] = {
+    TransactionType.NEW_ORDER: 320,
+    TransactionType.PAYMENT: 96,
+    TransactionType.ORDER_STATUS: 48,
+    TransactionType.DELIVERY: 48,
+    TransactionType.STOCK_LEVEL: 48,
+}
+
+#: Transaction types that only ever touch the client's home warehouse.
+SINGLE_WAREHOUSE_TYPES = frozenset(
+    {
+        TransactionType.ORDER_STATUS,
+        TransactionType.DELIVERY,
+        TransactionType.STOCK_LEVEL,
+    }
+)
+
+
+@dataclass(frozen=True)
+class TransactionProfile:
+    """The warehouse-access shape of one generated transaction.
+
+    ``remote_accesses`` is the number of accesses that hit a warehouse other
+    than the home warehouse (for a new-order, the number of remote items; for
+    a payment, 0 or 1).  The geographic layer turns each remote access into a
+    concrete warehouse using the locality rule.
+    """
+
+    txn_type: TransactionType
+    items: int
+    remote_accesses: int
+
+    @property
+    def payload_bytes(self) -> int:
+        return PAYLOAD_BYTES[self.txn_type]
+
+    @property
+    def is_single_warehouse(self) -> bool:
+        return self.remote_accesses == 0
+
+
+def choose_transaction_type(
+    rng: random.Random, mix: Dict[TransactionType, float] = None
+) -> TransactionType:
+    """Sample a transaction type from ``mix`` (standard TPC-C mix by default)."""
+    mix = mix or STANDARD_MIX
+    roll = rng.random() * sum(mix.values())
+    acc = 0.0
+    for txn_type, weight in mix.items():
+        acc += weight
+        if roll <= acc:
+            return txn_type
+    return next(reversed(list(mix)))  # floating point edge; return last type
+
+
+def sample_profile(
+    rng: random.Random, mix: Dict[TransactionType, float] = None
+) -> TransactionProfile:
+    """Sample one transaction's type and warehouse-access shape."""
+    txn_type = choose_transaction_type(rng, mix)
+    if txn_type in SINGLE_WAREHOUSE_TYPES:
+        return TransactionProfile(txn_type=txn_type, items=1, remote_accesses=0)
+    if txn_type is TransactionType.PAYMENT:
+        remote = 1 if rng.random() < PAYMENT_REMOTE_PROB else 0
+        return TransactionProfile(txn_type=txn_type, items=1, remote_accesses=remote)
+    # New order.
+    items = rng.randint(NEW_ORDER_MIN_ITEMS, NEW_ORDER_MAX_ITEMS)
+    remote = sum(
+        1 for _ in range(items) if rng.random() < NEW_ORDER_REMOTE_ITEM_PROB
+    )
+    return TransactionProfile(txn_type=txn_type, items=items, remote_accesses=remote)

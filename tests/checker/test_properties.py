@@ -1,0 +1,89 @@
+"""Tests for the atomic multicast trace checker."""
+
+import pytest
+
+from repro.checker.properties import check_genuineness, check_trace
+from repro.core.message import Message
+from repro.protocols.base import RecordingSink
+
+
+def msg(mid, dst):
+    return Message(msg_id=mid, dst=frozenset(dst))
+
+
+def sink_from(sequences):
+    """Build a RecordingSink from {group: [messages in delivery order]}."""
+    sink = RecordingSink()
+    for group, messages in sequences.items():
+        for m in messages:
+            sink(group, m)
+    return sink
+
+
+class TestCleanTraces:
+    def test_consistent_trace_passes_all_checks(self):
+        m1, m2 = msg("m1", {"A", "B"}), msg("m2", {"A", "B"})
+        sink = sink_from({"A": [m1, m2], "B": [m1, m2]})
+        report = check_trace(sink, [m1, m2])
+        assert report.ok
+        report.raise_if_failed()  # must not raise
+        assert report.checked_messages == 2 and report.checked_groups == 2
+
+    def test_disjoint_destinations_unconstrained(self):
+        m1, m2 = msg("m1", {"A"}), msg("m2", {"B"})
+        sink = sink_from({"A": [m1], "B": [m2]})
+        assert check_trace(sink, [m1, m2]).ok
+
+
+class TestViolations:
+    def test_prefix_order_violation_detected(self):
+        m1, m2 = msg("m1", {"A", "B"}), msg("m2", {"A", "B"})
+        sink = sink_from({"A": [m1, m2], "B": [m2, m1]})
+        report = check_trace(sink, [m1, m2])
+        assert not report.ok
+        assert any(v.property_name == "prefix-order" for v in report.violations)
+        with pytest.raises(AssertionError):
+            report.raise_if_failed()
+
+    def test_acyclic_order_violation_detected(self):
+        # A: m1 < m2, B: m2 < m3, C: m3 < m1 — a cycle across three groups.
+        m1 = msg("m1", {"A", "C"})
+        m2 = msg("m2", {"A", "B"})
+        m3 = msg("m3", {"B", "C"})
+        sink = sink_from({"A": [m1, m2], "B": [m2, m3], "C": [m3, m1]})
+        report = check_trace(sink, [m1, m2, m3])
+        assert any(v.property_name == "acyclic-order" for v in report.violations)
+
+    def test_integrity_violations_detected(self):
+        m1 = msg("m1", {"A"})
+        ghost = msg("ghost", {"A"})
+        sink = sink_from({"A": [m1, m1, ghost], "B": [m1]})
+        report = check_trace(sink, [m1], expect_all_delivered=False)
+        names = {v.property_name for v in report.violations}
+        assert "integrity" in names
+        descriptions = " ".join(v.description for v in report.violations)
+        assert "twice" in descriptions
+        assert "never multicast" in descriptions
+        assert "addressed to" in descriptions
+
+    def test_missing_delivery_detected_when_expected(self):
+        m1 = msg("m1", {"A", "B"})
+        sink = sink_from({"A": [m1]})
+        report = check_trace(sink, [m1], expect_all_delivered=True)
+        assert any(v.property_name == "validity/agreement" for v in report.violations)
+
+    def test_missing_delivery_ignored_when_not_expected(self):
+        m1 = msg("m1", {"A", "B"})
+        sink = sink_from({"A": [m1]})
+        assert check_trace(sink, [m1], expect_all_delivered=False).ok
+
+
+class TestGenuineness:
+    def test_equal_counts_pass(self):
+        report = check_genuineness({1: 10, 2: 5}, {1: 10, 2: 5}, groups=[1, 2])
+        assert report.ok
+
+    def test_receiving_more_than_delivered_fails(self):
+        report = check_genuineness({1: 10}, {1: 7}, groups=[1])
+        assert not report.ok
+        assert report.violations[0].property_name == "minimality"

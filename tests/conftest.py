@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.message import reset_message_ids
+from repro.overlay.builders import standard_overlays
+from repro.sim.latencies import aws_latency_matrix
+
+
+@pytest.fixture(autouse=True)
+def _fresh_message_ids():
+    """Keep message ids short and deterministic within each test."""
+    reset_message_ids()
+    yield
+
+
+@pytest.fixture(scope="session")
+def latencies():
+    """The default 12-region AWS latency matrix."""
+    return aws_latency_matrix()
+
+
+@pytest.fixture(scope="session")
+def overlays(latencies):
+    """All standard overlays (O1, O2, T1, T2, T3, complete)."""
+    return standard_overlays(latencies)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)

@@ -1,0 +1,84 @@
+"""Tests for the client-side multicast helpers."""
+
+import pytest
+
+from repro.core.client import MulticastCall, MulticastClient
+from repro.core.flexcast import FlexCastProtocol
+from repro.core.message import ClientRequest, Message
+from repro.overlay.cdag import CDagOverlay
+
+
+class TestMulticastCall:
+    def _call(self):
+        return MulticastCall(
+            message=Message.create(["A", "B"], msg_id="m1"), submitted_at=100.0
+        )
+
+    def test_incomplete_until_all_destinations_respond(self):
+        call = self._call()
+        assert not call.complete
+        assert not call.record_response("A", 150.0)
+        assert call.record_response("B", 180.0)
+        assert call.complete
+
+    def test_latencies_sorted_by_arrival(self):
+        call = self._call()
+        call.record_response("B", 180.0)
+        call.record_response("A", 150.0)
+        assert call.latencies_by_arrival() == [50.0, 80.0]
+
+    def test_duplicate_response_ignored(self):
+        call = self._call()
+        call.record_response("A", 150.0)
+        call.record_response("A", 170.0)
+        assert call.responses["A"] == 150.0
+
+    def test_response_from_non_destination_rejected(self):
+        call = self._call()
+        with pytest.raises(ValueError):
+            call.record_response("Z", 120.0)
+
+
+class TestMulticastClient:
+    def _client(self):
+        overlay = CDagOverlay(["A", "B", "C"])
+        protocol = FlexCastProtocol(overlay)
+        sent = []
+        clock = {"now": 0.0}
+        client = MulticastClient(
+            client_id="c1",
+            protocol=protocol,
+            send_request=lambda group, req: sent.append((group, req)),
+            clock=lambda: clock["now"],
+        )
+        return client, sent, clock
+
+    def test_multicast_routes_request_to_lca_only(self):
+        client, sent, clock = self._client()
+        message = client.multicast(["B", "C"], payload_bytes=10)
+        assert [group for group, _ in sent] == ["B"]
+        assert isinstance(sent[0][1], ClientRequest)
+        assert client.outstanding == 1
+        assert message.sender == "c1"
+
+    def test_responses_complete_the_call(self):
+        client, sent, clock = self._client()
+        message = client.multicast(["B", "C"])
+        clock["now"] = 40.0
+        assert client.on_response("B", message.msg_id) is None
+        clock["now"] = 90.0
+        call = client.on_response("C", message.msg_id)
+        assert call is not None and call.complete
+        assert call.latencies_by_arrival() == [40.0, 90.0]
+        assert client.outstanding == 0
+        assert client.completed == [call]
+
+    def test_unknown_response_ignored(self):
+        client, sent, clock = self._client()
+        assert client.on_response("B", "not-a-message") is None
+
+    def test_submit_prebuilt_message(self):
+        client, sent, clock = self._client()
+        message = Message.create(["A", "C"], sender="c1")
+        client.submit(message)
+        assert [group for group, _ in sent] == ["A"]

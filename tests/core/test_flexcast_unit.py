@@ -1,0 +1,236 @@
+"""White-box unit tests for the FlexCast group logic.
+
+Groups are driven directly with hand-crafted envelopes through a
+RecordingTransport, which gives the tests full control over arrival order —
+including the adversarial orderings of Figure 3 in the paper.
+"""
+
+import pytest
+
+from repro.core.flexcast import FlexCastGroup, FlexCastProtocol
+from repro.core.message import (
+    ClientRequest,
+    EMPTY_DELTA,
+    FlexCastAck,
+    FlexCastMsg,
+    FlexCastNotif,
+    HistoryDelta,
+    Message,
+)
+from repro.overlay.cdag import CDagOverlay
+from repro.protocols.base import ProtocolError, RecordingSink
+from repro.sim.transport import RecordingTransport
+
+A, B, C = "A", "B", "C"
+
+
+@pytest.fixture
+def overlay():
+    return CDagOverlay([A, B, C])
+
+
+def make_group(group_id, overlay):
+    transport = RecordingTransport(group_id)
+    sink = RecordingSink()
+    group = FlexCastGroup(group_id, overlay, transport, sink)
+    return group, transport, sink
+
+
+def msg(mid, dst, **kwargs):
+    return Message(msg_id=mid, dst=frozenset(dst), **kwargs)
+
+
+def delta(vertices, edges=(), last=None):
+    return HistoryDelta(
+        vertices=tuple((mid, frozenset(dst)) for mid, dst in vertices),
+        edges=tuple(edges),
+        last_delivered=last,
+    )
+
+
+class TestLcaBehaviour:
+    def test_lca_delivers_client_message_immediately(self, overlay):
+        group, transport, sink = make_group(A, overlay)
+        m = msg("m1", {A, C})
+        group.on_client_request(m)
+        assert sink.sequence(A) == ["m1"]
+
+    def test_lca_forwards_to_all_other_destinations_only(self, overlay):
+        group, transport, sink = make_group(A, overlay)
+        m = msg("m1", {A, B, C})
+        group.on_client_request(m)
+        destinations = [dst for dst, env in transport.sent if isinstance(env, FlexCastMsg)]
+        assert sorted(destinations) == [B, C]
+
+    def test_lca_does_not_forward_local_messages(self, overlay):
+        group, transport, sink = make_group(A, overlay)
+        group.on_client_request(msg("m1", {A}))
+        assert transport.sent == []
+        assert sink.sequence(A) == ["m1"]
+
+    def test_client_request_to_non_lca_rejected(self, overlay):
+        group, _, _ = make_group(B, overlay)
+        with pytest.raises(ProtocolError):
+            group.on_client_request(msg("m1", {A, B}))
+
+    def test_client_request_to_non_destination_rejected(self, overlay):
+        group, _, _ = make_group(B, overlay)
+        with pytest.raises(ProtocolError):
+            group.on_client_request(msg("m1", {A, C}))
+
+    def test_forwarded_msg_carries_history_diff(self, overlay):
+        group, transport, _ = make_group(A, overlay)
+        group.on_client_request(msg("m1", {A, B}))
+        group.on_client_request(msg("m2", {A, B}))
+        envelopes = [env for dst, env in transport.sent if isinstance(env, FlexCastMsg)]
+        # The second forward must only ship the new vertex m2 (plus the edge),
+        # not resend m1's vertex.
+        second = envelopes[1]
+        assert {v[0] for v in second.history.vertices} == {"m2"}
+        assert ("m1", "m2") in second.history.edges
+
+
+class TestNonLcaDelivery:
+    def test_single_ancestor_message_delivers_immediately(self, overlay):
+        group, transport, sink = make_group(C, overlay)
+        group.on_envelope(A, FlexCastMsg(message=msg("m1", {A, C}), history=EMPTY_DELTA))
+        assert sink.sequence(C) == ["m1"]
+
+    def test_non_destination_msg_rejected(self, overlay):
+        group, _, _ = make_group(B, overlay)
+        with pytest.raises(ProtocolError):
+            group.on_envelope(A, FlexCastMsg(message=msg("m1", {A, C}), history=EMPTY_DELTA))
+
+    def test_middle_destination_sends_ack_to_higher_destinations(self, overlay):
+        group, transport, sink = make_group(B, overlay)
+        group.on_envelope(A, FlexCastMsg(message=msg("m1", {A, B, C}), history=EMPTY_DELTA))
+        assert sink.sequence(B) == ["m1"]
+        acks = [(dst, env) for dst, env in transport.sent if isinstance(env, FlexCastAck)]
+        assert [dst for dst, _ in acks] == [C]
+        assert acks[0][1].from_group == B
+
+    def test_highest_destination_waits_for_middle_ack(self, overlay):
+        group, transport, sink = make_group(C, overlay)
+        m = msg("m1", {A, B, C})
+        group.on_envelope(A, FlexCastMsg(message=m, history=EMPTY_DELTA))
+        assert sink.sequence(C) == []  # blocked on B's ack
+        group.on_envelope(B, FlexCastAck(message=m, history=EMPTY_DELTA, from_group=B))
+        assert sink.sequence(C) == ["m1"]
+
+    def test_ack_arriving_before_msg_is_buffered(self, overlay):
+        group, transport, sink = make_group(C, overlay)
+        m = msg("m1", {A, B, C})
+        group.on_envelope(B, FlexCastAck(message=m, history=EMPTY_DELTA, from_group=B))
+        assert sink.sequence(C) == []
+        group.on_envelope(A, FlexCastMsg(message=m, history=EMPTY_DELTA))
+        assert sink.sequence(C) == ["m1"]
+
+    def test_duplicate_acks_are_idempotent(self, overlay):
+        group, transport, sink = make_group(C, overlay)
+        m = msg("m1", {A, B, C})
+        group.on_envelope(A, FlexCastMsg(message=m, history=EMPTY_DELTA))
+        ack = FlexCastAck(message=m, history=EMPTY_DELTA, from_group=B)
+        group.on_envelope(B, ack)
+        group.on_envelope(B, ack)
+        assert sink.sequence(C) == ["m1"]
+        assert group.delivered_count == 1
+
+    def test_messages_from_same_lca_delivered_in_fifo_order(self, overlay):
+        group, transport, sink = make_group(C, overlay)
+        m1, m2 = msg("m1", {A, C}), msg("m2", {A, C})
+        d1 = delta([("m1", {A, C})])
+        d2 = delta([("m2", {A, C})], edges=[("m1", "m2")])
+        group.on_envelope(A, FlexCastMsg(message=m1, history=d1))
+        group.on_envelope(A, FlexCastMsg(message=m2, history=d2))
+        assert sink.sequence(C) == ["m1", "m2"]
+
+
+class TestNotifLogic:
+    def test_lca_notifies_bypassed_group_it_already_contacted(self, overlay):
+        """Strategy (c): A already talked to B, so forwarding m3 to C must
+        trigger a notif to B (which is not in m3.dst)."""
+        group, transport, sink = make_group(A, overlay)
+        group.on_client_request(msg("m2", {A, B}))  # A has now contacted B
+        transport.clear()
+        group.on_client_request(msg("m3", {A, C}))
+        notifs = [(dst, env) for dst, env in transport.sent if isinstance(env, FlexCastNotif)]
+        assert [dst for dst, _ in notifs] == [B]
+        # The forwarded msg carries B in its notified list so C waits for B's ack.
+        msgs = [env for dst, env in transport.sent if isinstance(env, FlexCastMsg) and dst == C]
+        assert msgs and B in msgs[0].notified
+
+    def test_no_notif_without_prior_communication(self, overlay):
+        """Minimality: A never talked to B, so no notif may be sent to B."""
+        group, transport, sink = make_group(A, overlay)
+        group.on_client_request(msg("m1", {A, C}))
+        notifs = [env for _, env in transport.sent if isinstance(env, FlexCastNotif)]
+        assert notifs == []
+
+    def test_notified_group_acks_destinations_above_it(self, overlay):
+        group, transport, sink = make_group(B, overlay)
+        # B has delivered something already (so it has dependencies to share).
+        group.on_envelope(A, FlexCastMsg(message=msg("m1", {A, B}), history=EMPTY_DELTA))
+        transport.clear()
+        m3 = msg("m3", {A, C})
+        group.on_envelope(
+            A, FlexCastNotif(message=m3, history=delta([("m3", {A, C})]), from_group=A)
+        )
+        acks = [(dst, env) for dst, env in transport.sent if isinstance(env, FlexCastAck)]
+        assert [dst for dst, _ in acks] == [C]
+        assert {v[0] for v in acks[0][1].history.vertices} >= {"m1"}
+
+    def test_notif_with_open_dependency_waits_for_local_delivery(self, overlay):
+        group, transport, sink = make_group(B, overlay)
+        # B learns (from the notif's history) about a message addressed to B
+        # that it has not delivered yet: the ack must be deferred.
+        m1 = msg("m1", {A, B})
+        m3 = msg("m3", {A, C})
+        notif_history = delta([("m1", {A, B}), ("m3", {A, C})], edges=[("m1", "m3")])
+        group.on_envelope(A, FlexCastNotif(message=m3, history=notif_history, from_group=A))
+        assert not [env for _, env in transport.sent if isinstance(env, FlexCastAck)]
+        assert len(group.pending_notifications) == 1
+        # Delivering m1 unblocks the pending notification.
+        group.on_envelope(A, FlexCastMsg(message=m1, history=EMPTY_DELTA))
+        acks = [(dst, env) for dst, env in transport.sent if isinstance(env, FlexCastAck)]
+        assert [dst for dst, _ in acks] == [C]
+        assert group.pending_notifications == []
+
+    def test_highest_destination_waits_for_notified_group_ack(self, overlay):
+        group, transport, sink = make_group(C, overlay)
+        m3 = msg("m3", {A, C})
+        group.on_envelope(
+            A,
+            FlexCastMsg(message=m3, history=EMPTY_DELTA, notified=frozenset({B})),
+        )
+        assert sink.sequence(C) == []  # must wait for B (notified) to ack
+        group.on_envelope(B, FlexCastAck(message=m3, history=EMPTY_DELTA, from_group=B))
+        assert sink.sequence(C) == ["m3"]
+
+
+class TestStats:
+    def test_stats_track_messages(self, overlay):
+        group, transport, sink = make_group(B, overlay)
+        group.on_envelope(A, FlexCastMsg(message=msg("m1", {A, B, C}), history=EMPTY_DELTA))
+        assert group.stats["msgs_received"] == 1
+        assert group.stats["acks_sent"] == 1
+        assert group.queue_sizes() == {A: 0}
+        assert group.history_size() == 1
+
+
+class TestFlexCastProtocol:
+    def test_requires_cdag_overlay(self):
+        from repro.overlay.tree import TreeOverlay
+
+        with pytest.raises(TypeError):
+            FlexCastProtocol(TreeOverlay(A, {A: [B, C]}))
+
+    def test_entry_group_is_lca(self, overlay):
+        protocol = FlexCastProtocol(overlay)
+        assert protocol.entry_groups(msg("m1", {B, C})) == [B]
+        assert protocol.genuine
+        assert protocol.name == "FlexCast"
+
+    def test_create_group_builds_flexcast_group(self, overlay):
+        protocol = FlexCastProtocol(overlay)
+        group = protocol.create_group(A, RecordingTransport(A), RecordingSink())
+        assert isinstance(group, FlexCastGroup)

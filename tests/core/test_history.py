@@ -1,0 +1,197 @@
+"""Unit tests for FlexCast histories and diff tracking."""
+
+import pytest
+
+from repro.core.history import History, HistoryDiffTracker
+from repro.core.message import HistoryDelta, Message
+
+
+def msg(mid, dst):
+    return Message(msg_id=mid, dst=frozenset(dst))
+
+
+class TestRecordDelivery:
+    def test_delivery_builds_total_order(self):
+        h = History()
+        h.record_delivery(msg("m1", {1}))
+        h.record_delivery(msg("m2", {1, 2}))
+        h.record_delivery(msg("m3", {1}))
+        assert h.last_delivered == "m3"
+        assert ("m1", "m2") in h.edges()
+        assert ("m2", "m3") in h.edges()
+        assert len(h) == 3 and h.num_edges == 2
+
+    def test_first_delivery_has_no_predecessor(self):
+        h = History()
+        h.record_delivery(msg("m1", {1}))
+        assert h.num_edges == 0
+
+    def test_vertex_insertion_idempotent(self):
+        h = History()
+        h.add_vertex("m1", frozenset({1}))
+        h.add_vertex("m1", frozenset({1}))
+        assert len(h) == 1
+
+    def test_self_edge_ignored(self):
+        h = History()
+        h.add_vertex("m1", frozenset({1}))
+        h.add_edge("m1", "m1")
+        assert h.num_edges == 0
+
+    def test_edge_to_unknown_vertex_ignored(self):
+        h = History()
+        h.add_vertex("m1", frozenset({1}))
+        h.add_edge("m1", "ghost")
+        assert h.num_edges == 0
+
+
+class TestMergeDelta:
+    def test_merge_adds_vertices_and_edges(self):
+        h = History()
+        delta = HistoryDelta(
+            vertices=(("m1", frozenset({1})), ("m2", frozenset({2}))),
+            edges=(("m1", "m2"),),
+        )
+        h.merge_delta(delta)
+        assert "m1" in h and "m2" in h
+        assert h.depends("m2", "m1")
+
+    def test_merge_none_or_empty_is_noop(self):
+        h = History()
+        h.merge_delta(None)
+        h.merge_delta(HistoryDelta())
+        assert len(h) == 0
+
+    def test_merge_does_not_change_last_delivered(self):
+        h = History()
+        h.record_delivery(msg("mine", {1}))
+        h.merge_delta(HistoryDelta(vertices=(("other", frozenset({2})),), last_delivered="other"))
+        assert h.last_delivered == "mine"
+
+
+class TestDependencies:
+    def test_direct_and_transitive_dependency(self):
+        h = History()
+        for mid in ("m1", "m2", "m3"):
+            h.record_delivery(msg(mid, {1}))
+        assert h.depends("m2", "m1")
+        assert h.depends("m3", "m1")  # transitive through m2
+        assert not h.depends("m1", "m3")
+
+    def test_depends_false_for_unknown_or_same_message(self):
+        h = History()
+        h.record_delivery(msg("m1", {1}))
+        assert not h.depends("m1", "m1")
+        assert not h.depends("m1", "ghost")
+
+    def test_ancestors_of(self):
+        h = History()
+        for mid in ("m1", "m2", "m3"):
+            h.record_delivery(msg(mid, {1}))
+        assert h.ancestors_of("m3") == {"m1", "m2"}
+        assert h.ancestors_of("m1") == set()
+
+    def test_messages_addressed_to(self):
+        h = History()
+        h.add_vertex("m1", frozenset({1, 2}))
+        h.add_vertex("m2", frozenset({2}))
+        h.add_vertex("m3", frozenset({3}))
+        assert set(h.messages_addressed_to(2)) == {"m1", "m2"}
+        assert h.contains_message_to(3)
+        assert not h.contains_message_to(4)
+
+    def test_no_cycle_in_normal_histories(self):
+        h = History()
+        for mid in ("m1", "m2", "m3"):
+            h.record_delivery(msg(mid, {1}))
+        assert not h.has_cycle()
+
+    def test_cycle_detection(self):
+        h = History()
+        h.add_vertex("a", frozenset({1}))
+        h.add_vertex("b", frozenset({1}))
+        h.add_edge("a", "b")
+        h.add_edge("b", "a")
+        assert h.has_cycle()
+
+
+class TestPruning:
+    def _history_with_chain(self, n=5):
+        h = History()
+        for i in range(n):
+            h.record_delivery(msg(f"m{i}", {1}))
+        return h
+
+    def test_prune_before_removes_ancestors_of_pivot(self):
+        h = self._history_with_chain()
+        removed = h.prune_before("m3")
+        assert removed == 3
+        assert set(h.message_ids()) == {"m3", "m4"}
+
+    def test_prune_keeps_protected_ids(self):
+        h = self._history_with_chain()
+        h.prune_before("m4", keep={"m2"})
+        assert "m2" in h and "m1" not in h
+
+    def test_pruned_messages_are_forgotten_on_merge(self):
+        h = self._history_with_chain()
+        h.prune_before("m3")
+        h.merge_delta(HistoryDelta(vertices=(("m1", frozenset({1})),), edges=(("m1", "m3"),)))
+        assert "m1" not in h
+        assert h.forgotten_count == 3
+        assert h.is_forgotten("m1")
+
+    def test_prune_updates_edges(self):
+        h = self._history_with_chain()
+        h.prune_before("m3")
+        assert all("m1" not in edge and "m2" not in edge for edge in h.edges())
+
+    def test_full_delta_round_trip(self):
+        h = self._history_with_chain(3)
+        other = History()
+        other.merge_delta(h.full_delta())
+        assert set(other.message_ids()) == set(h.message_ids())
+        assert set(other.edges()) == set(h.edges())
+
+
+class TestDiffTracker:
+    def test_first_diff_ships_everything(self):
+        h = History()
+        h.record_delivery(msg("m1", {1}))
+        h.record_delivery(msg("m2", {1}))
+        tracker = HistoryDiffTracker()
+        delta = tracker.diff_for(7, h)
+        assert {v[0] for v in delta.vertices} == {"m1", "m2"}
+        assert ("m1", "m2") in delta.edges
+
+    def test_second_diff_ships_only_new_content(self):
+        h = History()
+        h.record_delivery(msg("m1", {1}))
+        tracker = HistoryDiffTracker()
+        tracker.diff_for(7, h)
+        h.record_delivery(msg("m2", {1}))
+        delta = tracker.diff_for(7, h)
+        assert {v[0] for v in delta.vertices} == {"m2"}
+
+    def test_diff_tracked_per_descendant(self):
+        h = History()
+        h.record_delivery(msg("m1", {1}))
+        tracker = HistoryDiffTracker()
+        tracker.diff_for(7, h)
+        delta_for_other = tracker.diff_for(8, h)
+        assert {v[0] for v in delta_for_other.vertices} == {"m1"}
+
+    def test_no_change_returns_empty_delta(self):
+        h = History()
+        h.record_delivery(msg("m1", {1}))
+        tracker = HistoryDiffTracker()
+        tracker.diff_for(7, h)
+        assert tracker.diff_for(7, h).is_empty
+
+    def test_forget_allows_bookkeeping_to_shrink(self):
+        h = History()
+        h.record_delivery(msg("m1", {1}))
+        tracker = HistoryDiffTracker()
+        tracker.diff_for(7, h)
+        tracker.forget(["m1"])
+        assert tracker.sent_to(7) == set()

@@ -1,0 +1,126 @@
+"""Unit tests for messages and protocol envelopes."""
+
+import pytest
+
+from repro.core.message import (
+    ClientRequest,
+    ClientResponse,
+    EMPTY_DELTA,
+    FlexCastAck,
+    FlexCastMsg,
+    FlexCastNotif,
+    HistoryDelta,
+    Message,
+    PAYLOAD_KINDS,
+    SkeenPropose,
+    SkeenTimestamp,
+    TreeForward,
+    fresh_message_id,
+    reset_message_ids,
+)
+
+
+class TestMessage:
+    def test_create_assigns_unique_ids(self):
+        m1 = Message.create([1, 2])
+        m2 = Message.create([1, 2])
+        assert m1.msg_id != m2.msg_id
+
+    def test_reset_message_ids_restarts_counter(self):
+        reset_message_ids()
+        assert Message.create([1]).msg_id == "m0"
+
+    def test_local_vs_global(self):
+        assert Message.create([3]).is_local
+        assert not Message.create([3]).is_global
+        assert Message.create([3, 4]).is_global
+
+    def test_empty_destination_rejected(self):
+        with pytest.raises(ValueError):
+            Message.create([])
+
+    def test_destinations_normalised_to_frozenset(self):
+        m = Message.create([2, 1, 2])
+        assert m.dst == frozenset({1, 2})
+
+    def test_size_grows_with_payload_and_destinations(self):
+        small = Message.create([1], payload_bytes=10)
+        large = Message.create([1, 2, 3], payload_bytes=500)
+        assert large.size_bytes() > small.size_bytes()
+
+    def test_flush_flag_and_repr(self):
+        flush = Message.create([1, 2], is_flush=True)
+        assert flush.is_flush
+        assert "flush" in repr(flush)
+
+    def test_messages_are_immutable(self):
+        m = Message.create([1])
+        with pytest.raises(AttributeError):
+            m.msg_id = "other"
+
+    def test_fresh_message_id_prefix(self):
+        assert fresh_message_id("x").startswith("x")
+
+
+class TestHistoryDelta:
+    def test_empty_delta(self):
+        assert EMPTY_DELTA.is_empty
+        assert len(EMPTY_DELTA) == 0
+        assert EMPTY_DELTA.size_bytes() == 0
+
+    def test_size_scales_with_content(self):
+        delta = HistoryDelta(
+            vertices=(("m1", frozenset({1})), ("m2", frozenset({1, 2}))),
+            edges=(("m1", "m2"),),
+            last_delivered="m2",
+        )
+        assert not delta.is_empty
+        assert len(delta) == 3
+        assert delta.size_bytes() > 0
+
+
+class TestEnvelopes:
+    def test_kinds(self):
+        m = Message.create([1, 2])
+        assert ClientRequest(message=m).kind == "request"
+        assert ClientResponse(msg_id=m.msg_id, group=1).kind == "response"
+        assert FlexCastMsg(message=m, history=EMPTY_DELTA).kind == "msg"
+        assert FlexCastAck(message=m, history=EMPTY_DELTA, from_group=1).kind == "ack"
+        assert FlexCastNotif(message=m, history=EMPTY_DELTA, from_group=1).kind == "notif"
+        assert SkeenTimestamp(msg_id=m.msg_id, timestamp=1, from_group=1).kind == "timestamp"
+        assert SkeenPropose(message=m).kind == "msg"
+        assert TreeForward(message=m, sequence=1).kind == "msg"
+
+    def test_payload_kinds_cover_request_and_msg_only(self):
+        assert PAYLOAD_KINDS == {"request", "msg"}
+
+    def test_flexcast_msg_size_includes_history(self):
+        m = Message.create([1, 2], payload_bytes=50)
+        delta = HistoryDelta(
+            vertices=tuple((f"m{i}", frozenset({1})) for i in range(10)),
+            edges=tuple((f"m{i}", f"m{i+1}") for i in range(9)),
+        )
+        with_history = FlexCastMsg(message=m, history=delta)
+        without = FlexCastMsg(message=m, history=EMPTY_DELTA)
+        assert with_history.size_bytes() > without.size_bytes()
+
+    def test_ack_smaller_than_msg_with_same_history(self):
+        m = Message.create([1, 2], payload_bytes=300)
+        assert (
+            FlexCastAck(message=m, history=EMPTY_DELTA, from_group=1).size_bytes()
+            < FlexCastMsg(message=m, history=EMPTY_DELTA).size_bytes()
+        )
+
+    def test_all_envelopes_report_positive_size(self):
+        m = Message.create([1, 2])
+        envelopes = [
+            ClientRequest(message=m),
+            ClientResponse(msg_id=m.msg_id, group=1),
+            FlexCastMsg(message=m, history=EMPTY_DELTA),
+            FlexCastAck(message=m, history=EMPTY_DELTA, from_group=1),
+            FlexCastNotif(message=m, history=EMPTY_DELTA, from_group=1),
+            SkeenTimestamp(msg_id=m.msg_id, timestamp=3, from_group=2),
+            SkeenPropose(message=m),
+            TreeForward(message=m, sequence=7),
+        ]
+        assert all(e.size_bytes() > 0 for e in envelopes)

@@ -1,0 +1,47 @@
+"""Smoke tests for the figure-regeneration functions (tiny scale).
+
+The benchmarks run these at a realistic scale and assert the paper's trends;
+here they are only exercised end-to-end at the smallest possible scale so that
+a plain ``pytest tests/`` run covers the whole figure pipeline too.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure1, figure5_table2, figure6, figure8
+from repro.experiments.scenarios import Scale
+
+TINY = Scale(duration_ms=600.0, num_clients=12, seed=2)
+
+
+class TestFigurePipeline:
+    def test_figure1_produces_per_group_overheads(self):
+        result = figure1(TINY)
+        assert len(result.data["overhead_percent_by_group"]) == 12
+        assert "overhead" in result.text
+        assert result.data["mean_percent"] >= 0.0
+
+    def test_figure5_produces_tables_and_cdfs_for_every_overlay(self):
+        result = figure5_table2(TINY)
+        assert set(result.data["percentiles"]) == {
+            "FlexCast O1", "FlexCast O2",
+            "Hierarchical T1", "Hierarchical T2", "Hierarchical T3",
+        }
+        for label, cdfs in result.data["cdfs"].items():
+            assert cdfs[1], label  # at least the 1st destination has a CDF
+
+    def test_figure6_produces_one_series_per_protocol(self):
+        result = figure6(TINY, client_counts=(4, 8))
+        series = result.data["throughput_ops_per_sec"]
+        assert set(series) == {"FlexCast O1", "Hierarchical T1", "Distributed"}
+        assert all(set(points) == {4, 8} for points in series.values())
+
+    def test_figure8_produces_twelve_rows_per_protocol(self):
+        result = figure8(TINY)
+        for label, rows in result.data["per_node"].items():
+            assert len(rows) == 12, label
+        assert set(result.data["average_kbytes_per_second"]) == set(result.data["per_node"])
+
+    def test_figure_results_render_as_text(self):
+        result = figure1(TINY)
+        assert result.name.startswith("Figure 1")
+        assert str(result).startswith("== Figure 1")

@@ -1,0 +1,84 @@
+"""Qualitative trends from the paper's evaluation, checked on scaled-down runs.
+
+These assertions encode the *shape* of the paper's results (who wins where),
+not absolute numbers — see EXPERIMENTS.md for the quantitative comparison.
+"""
+
+import pytest
+
+from repro.experiments.config import (
+    distributed_config,
+    flexcast_config,
+    hierarchical_config,
+)
+from repro.experiments.runner import run_experiment
+from repro.metrics.stats import percentile
+
+SCALE = dict(num_clients=24, duration_ms=2500.0, seed=2)
+
+
+@pytest.fixture(scope="module")
+def results():
+    """One run per protocol at 90% locality (shared across trend tests)."""
+    return {
+        "flexcast": run_experiment(flexcast_config(locality=0.90, **SCALE)),
+        "hierarchical": run_experiment(hierarchical_config(locality=0.90, **SCALE)),
+        "distributed": run_experiment(distributed_config(locality=0.90, **SCALE)),
+    }
+
+
+def median_latency(result, rank):
+    samples = result.latency.latencies_for_destination(rank)
+    return percentile(samples, 50) if samples else None
+
+
+class TestLatencyTrends:
+    def test_flexcast_fastest_at_first_destination(self, results):
+        """§5.6: FlexCast outperforms both baselines at the 1st destination."""
+        flexcast = median_latency(results["flexcast"], 1)
+        hierarchical = median_latency(results["hierarchical"], 1)
+        distributed = median_latency(results["distributed"], 1)
+        assert flexcast < hierarchical
+        assert flexcast < distributed
+
+    def test_flexcast_beats_distributed_at_second_destination(self, results):
+        """§5.6: at the 2nd destination FlexCast still beats the distributed
+        protocol (the hierarchical protocol may win there)."""
+        assert median_latency(results["flexcast"], 2) < median_latency(results["distributed"], 2)
+
+    def test_all_protocols_complete_their_workloads(self, results):
+        for result in results.values():
+            assert result.completed == result.issued > 0
+
+
+class TestOverheadTrends:
+    def test_only_the_hierarchical_protocol_has_overhead(self, results):
+        """§5.8: genuine protocols have zero communication overhead."""
+        assert results["flexcast"].overhead.mean_percent == pytest.approx(0.0, abs=1e-9)
+        assert results["distributed"].overhead.mean_percent == pytest.approx(0.0, abs=1e-9)
+        assert results["hierarchical"].overhead.mean_percent > 1.0
+
+    def test_hierarchical_leaves_have_no_overhead(self, results):
+        """§5.8: leaf groups always deliver what they receive."""
+        from repro.overlay.builders import build_t1
+        from repro.sim.latencies import aws_latency_matrix
+
+        tree = build_t1(aws_latency_matrix())
+        overhead = results["hierarchical"].overhead
+        for group in tree.groups:
+            if tree.is_leaf(group):
+                assert overhead.overhead_percent(group) == pytest.approx(0.0, abs=1e-9)
+
+    def test_hierarchical_overhead_decreases_with_locality(self):
+        """Table 4 trend: T1's mean overhead shrinks as locality grows."""
+        low = run_experiment(hierarchical_config(locality=0.90, **SCALE))
+        high = run_experiment(hierarchical_config(locality=0.99, **SCALE))
+        assert high.overhead.mean_percent < low.overhead.mean_percent
+
+
+class TestLocalitySensitivity:
+    def test_flexcast_first_destination_latency_improves_with_locality(self):
+        """§5.6: FlexCast is the protocol most sensitive to locality."""
+        low = run_experiment(flexcast_config(locality=0.90, **SCALE))
+        high = run_experiment(flexcast_config(locality=0.99, **SCALE))
+        assert median_latency(high, 1) <= median_latency(low, 1) * 1.05

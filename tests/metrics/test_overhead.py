@@ -1,0 +1,48 @@
+"""Tests for the communication-overhead metric (§5.8)."""
+
+import pytest
+
+from repro.metrics.overhead import GroupOverhead, OverheadReport, compute_overhead
+
+
+class TestGroupOverhead:
+    def test_overhead_formula(self):
+        assert GroupOverhead(group=1, delivered=90, received=100).overhead == pytest.approx(0.1)
+        assert GroupOverhead(group=1, delivered=90, received=100).overhead_percent == pytest.approx(10.0)
+
+    def test_zero_received_means_zero_overhead(self):
+        assert GroupOverhead(group=1, delivered=0, received=0).overhead == 0.0
+
+    def test_delivering_everything_means_zero_overhead(self):
+        assert GroupOverhead(group=1, delivered=50, received=50).overhead == 0.0
+
+    def test_never_negative(self):
+        # Flush/bookkeeping messages can make delivered exceed received counts.
+        assert GroupOverhead(group=1, delivered=60, received=50).overhead == 0.0
+
+
+class TestOverheadReport:
+    def _report(self):
+        return compute_overhead(
+            delivered_by_group={1: 90, 2: 100, 3: 0},
+            received_by_group={1: 100, 2: 100, 3: 50},
+            groups=[1, 2, 3],
+        )
+
+    def test_per_group_and_aggregates(self):
+        report = self._report()
+        assert report.overhead_percent(1) == pytest.approx(10.0)
+        assert report.overhead_percent(2) == 0.0
+        assert report.overhead_percent(3) == pytest.approx(100.0)
+        assert report.mean_percent == pytest.approx((10 + 0 + 100) / 3)
+        assert report.max_percent == pytest.approx(100.0)
+        assert report.stdev_percent > 0
+
+    def test_missing_groups_default_to_zero_counts(self):
+        report = compute_overhead({}, {}, groups=[1, 2])
+        assert report.mean_percent == 0.0
+
+    def test_rows_sorted_by_group(self):
+        rows = self._report().as_rows()
+        assert [r["group"] for r in rows] == [1, 2, 3]
+        assert rows[0]["overhead_percent"] == pytest.approx(10.0)

@@ -1,0 +1,120 @@
+"""Unit tests for the hierarchical (tree) baseline."""
+
+import pytest
+
+from repro.core.message import ClientRequest, Message, TreeForward
+from repro.overlay.tree import TreeOverlay
+from repro.protocols.base import ProtocolError, RecordingSink
+from repro.protocols.hierarchical import HierarchicalGroup, HierarchicalProtocol
+from repro.sim.transport import RecordingTransport
+
+A, B, C, D, E = "A", "B", "C", "D", "E"
+
+
+@pytest.fixture
+def tree():
+    return TreeOverlay(A, {A: [B, C], B: [D, E]})
+
+
+def make_group(gid, tree):
+    transport = RecordingTransport(gid)
+    sink = RecordingSink()
+    return HierarchicalGroup(gid, tree, transport, sink), transport, sink
+
+
+def msg(mid, dst):
+    return Message(msg_id=mid, dst=frozenset(dst))
+
+
+class TestOrderingAndForwarding:
+    def test_destination_lca_delivers_and_forwards(self, tree):
+        group, transport, sink = make_group(B, tree)
+        group.on_client_request(msg("m1", {B, D}))
+        assert sink.sequence(B) == ["m1"]
+        forwards = [(dst, env) for dst, env in transport.sent if isinstance(env, TreeForward)]
+        assert [dst for dst, _ in forwards] == [D]
+
+    def test_non_destination_relay_orders_but_does_not_deliver(self, tree):
+        """The paper's key non-genuineness example: a message to {B, C} is
+        first ordered at A even though A is not a destination."""
+        group, transport, sink = make_group(A, tree)
+        group.on_client_request(msg("m1", {B, C}))
+        assert sink.sequence(A) == []
+        assert group.payload_received == 1
+        forwards = sorted(dst for dst, env in transport.sent if isinstance(env, TreeForward))
+        assert forwards == [B, C]
+        assert group.communication_overhead() == 1.0
+
+    def test_forward_received_from_parent(self, tree):
+        group, transport, sink = make_group(B, tree)
+        group.on_envelope(A, TreeForward(message=msg("m1", {B, C}), sequence=1))
+        assert sink.sequence(B) == ["m1"]
+        assert transport.sent == []  # no destinations below B
+
+    def test_forward_continues_toward_deeper_destinations(self, tree):
+        group, transport, sink = make_group(B, tree)
+        group.on_envelope(A, TreeForward(message=msg("m1", {D, C}), sequence=1))
+        assert sink.sequence(B) == []  # not a destination
+        assert [dst for dst, _ in transport.sent] == [D]
+
+    def test_duplicate_forward_ignored(self, tree):
+        group, transport, sink = make_group(B, tree)
+        forward = TreeForward(message=msg("m1", {B}), sequence=1)
+        group.on_envelope(A, forward)
+        group.on_envelope(A, forward)
+        assert sink.sequence(B) == ["m1"]
+
+    def test_local_sequence_preserves_arrival_order(self, tree):
+        group, transport, sink = make_group(B, tree)
+        group.on_envelope(A, TreeForward(message=msg("m1", {B, D}), sequence=1))
+        group.on_envelope(A, TreeForward(message=msg("m2", {B, E}), sequence=2))
+        assert group.local_sequence == ["m1", "m2"]
+
+    def test_client_request_must_target_tree_lca(self, tree):
+        group, _, _ = make_group(B, tree)
+        with pytest.raises(ProtocolError):
+            group.on_client_request(msg("m1", {B, C}))  # lca is A, not B
+
+    def test_unexpected_envelope_rejected(self, tree):
+        group, _, _ = make_group(B, tree)
+        with pytest.raises(ProtocolError):
+            group.on_envelope(A, object())
+
+
+class TestOverheadAccounting:
+    def test_overhead_zero_when_everything_delivered(self, tree):
+        group, transport, sink = make_group(D, tree)
+        group.on_envelope(B, TreeForward(message=msg("m1", {D}), sequence=1))
+        group.on_envelope(B, TreeForward(message=msg("m2", {D, E}), sequence=2))
+        assert group.communication_overhead() == 0.0
+
+    def test_overhead_counts_relayed_messages(self, tree):
+        group, transport, sink = make_group(B, tree)
+        group.on_envelope(A, TreeForward(message=msg("m1", {B, D}), sequence=1))  # delivered
+        group.on_envelope(A, TreeForward(message=msg("m2", {D, E}), sequence=2))  # relay only
+        assert group.payload_received == 2
+        assert group.delivered_count == 1
+        assert group.communication_overhead() == pytest.approx(0.5)
+
+    def test_overhead_zero_with_no_traffic(self, tree):
+        group, _, _ = make_group(E, tree)
+        assert group.communication_overhead() == 0.0
+
+
+class TestHierarchicalProtocol:
+    def test_entry_group_is_tree_lca(self, tree):
+        protocol = HierarchicalProtocol(tree)
+        assert protocol.entry_groups(msg("m1", {B, C})) == [A]
+        assert protocol.entry_groups(msg("m2", {D, E})) == [B]
+        assert not protocol.genuine
+
+    def test_requires_tree_overlay(self):
+        from repro.overlay.cdag import CDagOverlay
+
+        with pytest.raises(TypeError):
+            HierarchicalProtocol(CDagOverlay([A, B]))
+
+    def test_create_group(self, tree):
+        protocol = HierarchicalProtocol(tree)
+        group = protocol.create_group(B, RecordingTransport(B), RecordingSink())
+        assert isinstance(group, HierarchicalGroup)

@@ -1,0 +1,76 @@
+"""Tests for the shared protocol interface helpers."""
+
+import pytest
+
+from repro.core.message import Message
+from repro.overlay.cdag import CDagOverlay
+from repro.protocols.base import (
+    AtomicMulticastGroup,
+    ProtocolError,
+    RecordingSink,
+)
+from repro.sim.transport import RecordingTransport
+
+
+class _DummyGroup(AtomicMulticastGroup):
+    """Minimal concrete group used to exercise the base class."""
+
+    def on_client_request(self, message):
+        self.deliver(message)
+
+    def on_envelope(self, sender, envelope):  # pragma: no cover - unused
+        pass
+
+
+def make_group(gid="A"):
+    sink = RecordingSink()
+    return _DummyGroup(gid, RecordingTransport(gid), sink), sink
+
+
+class TestDeliveryGuards:
+    def test_deliver_forwards_to_sink(self):
+        group, sink = make_group()
+        group.on_client_request(Message.create(["A", "B"], msg_id="m1"))
+        assert sink.sequence("A") == ["m1"]
+        assert group.delivered_count == 1
+        assert group.has_delivered("m1")
+
+    def test_double_delivery_rejected(self):
+        group, sink = make_group()
+        m = Message.create(["A"], msg_id="m1")
+        group.deliver(m)
+        with pytest.raises(ProtocolError):
+            group.deliver(m)
+
+    def test_delivery_outside_destination_set_rejected(self):
+        group, sink = make_group("Z")
+        with pytest.raises(ProtocolError):
+            group.deliver(Message.create(["A", "B"], msg_id="m1"))
+
+    def test_send_uses_transport(self):
+        group, _ = make_group()
+        group.send("B", "payload")
+        assert group.transport.sent == [("B", "payload")]
+
+
+class TestRecordingSink:
+    def test_records_order_and_counts(self):
+        sink = RecordingSink()
+        m1 = Message.create(["A"], msg_id="m1")
+        m2 = Message.create(["A", "B"], msg_id="m2")
+        sink("A", m1)
+        sink("A", m2)
+        sink("B", m2)
+        assert sink.sequence("A") == ["m1", "m2"]
+        assert sink.sequence("B") == ["m2"]
+        assert sink.count() == 3
+        assert sink.count("A") == 2
+        assert sink.delivered_ids("B") == {"m2"}
+        assert [r.order for r in sink.records] == [0, 1, 0]
+
+    def test_clock_recorded_when_available(self):
+        times = iter([5.0, 9.0])
+        sink = RecordingSink(clock=lambda: next(times))
+        sink("A", Message.create(["A"], msg_id="m1"))
+        sink("A", Message.create(["A"], msg_id="m2"))
+        assert [r.time for r in sink.records] == [5.0, 9.0]

@@ -1,0 +1,120 @@
+"""Unit tests for the distributed (Skeen) baseline."""
+
+import pytest
+
+from repro.core.message import ClientRequest, Message, SkeenTimestamp
+from repro.overlay.base import CompleteGraphOverlay
+from repro.protocols.base import ProtocolError, RecordingSink
+from repro.protocols.skeen import SkeenGroup, SkeenProtocol
+from repro.sim.transport import RecordingTransport
+
+
+@pytest.fixture
+def overlay():
+    return CompleteGraphOverlay([0, 1, 2])
+
+
+def make_group(gid, overlay):
+    transport = RecordingTransport(gid)
+    sink = RecordingSink()
+    return SkeenGroup(gid, overlay, transport, sink), transport, sink
+
+
+def msg(mid, dst):
+    return Message(msg_id=mid, dst=frozenset(dst))
+
+
+class TestProposals:
+    def test_local_message_delivered_immediately(self, overlay):
+        group, transport, sink = make_group(0, overlay)
+        group.on_client_request(msg("m1", {0}))
+        assert sink.sequence(0) == ["m1"]
+        assert transport.sent == []
+
+    def test_proposal_sent_to_every_other_destination(self, overlay):
+        group, transport, sink = make_group(0, overlay)
+        group.on_client_request(msg("m1", {0, 1, 2}))
+        destinations = sorted(dst for dst, env in transport.sent if isinstance(env, SkeenTimestamp))
+        assert destinations == [1, 2]
+        assert sink.sequence(0) == []  # not decided yet
+
+    def test_delivery_after_all_timestamps(self, overlay):
+        group, transport, sink = make_group(0, overlay)
+        m = msg("m1", {0, 1})
+        group.on_client_request(m)
+        group.on_envelope(1, SkeenTimestamp(msg_id="m1", timestamp=4, from_group=1))
+        assert sink.sequence(0) == ["m1"]
+
+    def test_timestamp_before_request_is_buffered(self, overlay):
+        group, transport, sink = make_group(0, overlay)
+        group.on_envelope(1, SkeenTimestamp(msg_id="m1", timestamp=4, from_group=1))
+        assert sink.sequence(0) == []
+        group.on_client_request(msg("m1", {0, 1}))
+        assert sink.sequence(0) == ["m1"]
+
+    def test_duplicate_request_ignored(self, overlay):
+        group, transport, sink = make_group(0, overlay)
+        m = msg("m1", {0, 1})
+        group.on_client_request(m)
+        group.on_client_request(m)
+        group.on_envelope(1, SkeenTimestamp(msg_id="m1", timestamp=9, from_group=1))
+        assert sink.sequence(0) == ["m1"]
+
+    def test_request_to_non_destination_rejected(self, overlay):
+        group, _, _ = make_group(2, overlay)
+        with pytest.raises(ProtocolError):
+            group.on_client_request(msg("m1", {0, 1}))
+
+    def test_clock_advances_with_received_timestamps(self, overlay):
+        group, transport, sink = make_group(0, overlay)
+        group.on_envelope(1, SkeenTimestamp(msg_id="mx", timestamp=50, from_group=1))
+        group.on_client_request(msg("m1", {0, 1}))
+        proposals = [env for _, env in transport.sent if isinstance(env, SkeenTimestamp)]
+        assert proposals[0].timestamp > 50
+
+
+class TestOrdering:
+    def test_messages_delivered_in_final_timestamp_order(self, overlay):
+        group, transport, sink = make_group(0, overlay)
+        group.on_client_request(msg("m1", {0, 1}))
+        group.on_client_request(msg("m2", {0, 2}))
+        # m2's final timestamp (10) is larger than m1's (5): deliver m1 first
+        # even though m2's decision arrives first.
+        group.on_envelope(2, SkeenTimestamp(msg_id="m2", timestamp=10, from_group=2))
+        assert sink.sequence(0) == []  # m1 pending with smaller timestamp
+        group.on_envelope(1, SkeenTimestamp(msg_id="m1", timestamp=5, from_group=1))
+        assert sink.sequence(0) == ["m1", "m2"]
+
+    def test_undecided_message_with_smaller_proposal_blocks_delivery(self, overlay):
+        group, transport, sink = make_group(0, overlay)
+        group.on_client_request(msg("m1", {0, 1}))   # local ts 1
+        group.on_client_request(msg("m2", {0, 2}))   # local ts 2
+        group.on_envelope(2, SkeenTimestamp(msg_id="m2", timestamp=2, from_group=2))
+        # m1 is still undecided with a lower local timestamp, so m2 must wait.
+        assert sink.sequence(0) == []
+        group.on_envelope(1, SkeenTimestamp(msg_id="m1", timestamp=7, from_group=1))
+        # Now m1 decides at 7 > 2, so m2 goes first.
+        assert sink.sequence(0) == ["m2", "m1"]
+
+    def test_pending_count(self, overlay):
+        group, transport, sink = make_group(0, overlay)
+        group.on_client_request(msg("m1", {0, 1}))
+        assert group.pending_count() == 1
+
+
+class TestSkeenProtocol:
+    def test_entry_groups_are_all_destinations(self, overlay):
+        protocol = SkeenProtocol(overlay)
+        assert protocol.entry_groups(msg("m1", {2, 0})) == [0, 2]
+        assert protocol.genuine
+        assert protocol.name == "Distributed"
+
+    def test_create_group(self, overlay):
+        protocol = SkeenProtocol(overlay)
+        group = protocol.create_group(1, RecordingTransport(1), RecordingSink())
+        assert isinstance(group, SkeenGroup)
+
+    def test_unexpected_envelope_rejected(self, overlay):
+        group, _, _ = make_group(0, overlay)
+        with pytest.raises(ProtocolError):
+            group.on_envelope(1, object())

@@ -1,0 +1,87 @@
+"""Integration tests for the asyncio/TCP runtime (localhost clusters)."""
+
+import asyncio
+
+import pytest
+
+from repro.core.flexcast import FlexCastProtocol
+from repro.overlay.cdag import CDagOverlay
+from repro.overlay.tree import TreeOverlay
+from repro.protocols.hierarchical import HierarchicalProtocol
+from repro.protocols.skeen import SkeenProtocol
+from repro.overlay.base import CompleteGraphOverlay
+from repro.runtime.cluster import LocalCluster
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestFlexCastCluster:
+    def test_multicast_reaches_all_destinations(self):
+        async def scenario():
+            protocol = FlexCastProtocol(CDagOverlay([0, 1, 2]))
+            async with LocalCluster(protocol) as cluster:
+                client = await cluster.new_client("client-1")
+                latencies = await client.multicast([0, 2], payload="order")
+                assert set(latencies) == {0, 2}
+                assert all(v >= 0 for v in latencies.values())
+                assert cluster.delivered_at(0) == cluster.delivered_at(2)
+
+        run(scenario())
+
+    def test_sequence_of_multicasts_ordered_consistently(self):
+        async def scenario():
+            protocol = FlexCastProtocol(CDagOverlay([0, 1, 2]))
+            async with LocalCluster(protocol) as cluster:
+                client = await cluster.new_client("client-1")
+                for _ in range(5):
+                    await client.multicast([0, 1, 2])
+                assert (
+                    cluster.delivered_at(0)
+                    == cluster.delivered_at(1)
+                    == cluster.delivered_at(2)
+                )
+                assert len(cluster.delivered_at(0)) == 5
+
+        run(scenario())
+
+
+class TestBaselineClusters:
+    def test_skeen_cluster_delivers_everywhere(self):
+        async def scenario():
+            protocol = SkeenProtocol(CompleteGraphOverlay([0, 1, 2]))
+            async with LocalCluster(protocol) as cluster:
+                client = await cluster.new_client("client-1")
+                latencies = await client.multicast([0, 1, 2])
+                assert set(latencies) == {0, 1, 2}
+
+        run(scenario())
+
+    def test_hierarchical_cluster_delivers_only_at_destinations(self):
+        async def scenario():
+            tree = TreeOverlay(0, {0: [1, 2]})
+            protocol = HierarchicalProtocol(tree)
+            async with LocalCluster(protocol) as cluster:
+                client = await cluster.new_client("client-1")
+                latencies = await client.multicast([1, 2])
+                assert set(latencies) == {1, 2}
+                # The root relayed the message but never delivered it.
+                assert cluster.delivered_at(0) == []
+
+        run(scenario())
+
+    def test_timeout_when_destination_is_down(self):
+        async def scenario():
+            protocol = FlexCastProtocol(CDagOverlay([0, 1]))
+            cluster = LocalCluster(protocol)
+            await cluster.start()
+            try:
+                client = await cluster.new_client("client-1")
+                await cluster.servers[1].stop()
+                with pytest.raises(asyncio.TimeoutError):
+                    await client.multicast([0, 1], timeout=0.8)
+            finally:
+                await cluster.stop()
+
+        run(scenario())

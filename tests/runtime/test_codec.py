@@ -1,0 +1,110 @@
+"""Tests for the wire codec."""
+
+import pytest
+
+from repro.core.message import (
+    ClientRequest,
+    ClientResponse,
+    EMPTY_DELTA,
+    FlexCastAck,
+    FlexCastMsg,
+    FlexCastNotif,
+    HistoryDelta,
+    Message,
+    SkeenPropose,
+    SkeenTimestamp,
+    TreeForward,
+)
+from repro.runtime.codec import CodecError, decode_frame, encode_frame
+
+
+def round_trip(envelope, sender="node-1"):
+    frame = encode_frame(sender, envelope)
+    # Strip the 4-byte length prefix before decoding the body.
+    decoded_sender, decoded = decode_frame(frame[4:])
+    assert decoded_sender == sender
+    return decoded
+
+
+def sample_message():
+    return Message(
+        msg_id="m42",
+        dst=frozenset({1, 3}),
+        sender="client-7",
+        payload={"op": "new_order"},
+        payload_bytes=320,
+        is_flush=False,
+    )
+
+
+def sample_delta():
+    return HistoryDelta(
+        vertices=(("m1", frozenset({1})), ("m2", frozenset({1, 3}))),
+        edges=(("m1", "m2"),),
+        last_delivered="m2",
+    )
+
+
+class TestRoundTrips:
+    def test_client_request(self):
+        decoded = round_trip(ClientRequest(message=sample_message()))
+        assert decoded.message == sample_message()
+
+    def test_client_response(self):
+        decoded = round_trip(ClientResponse(msg_id="m42", group=3))
+        assert decoded.msg_id == "m42" and decoded.group == 3
+
+    def test_flexcast_msg_with_history(self):
+        envelope = FlexCastMsg(
+            message=sample_message(), history=sample_delta(), notified=frozenset({2})
+        )
+        decoded = round_trip(envelope)
+        assert decoded == envelope
+
+    def test_flexcast_ack_and_notif(self):
+        ack = FlexCastAck(
+            message=sample_message(), history=sample_delta(), from_group=1,
+            notified=frozenset({2, 4}),
+        )
+        notif = FlexCastNotif(message=sample_message(), history=EMPTY_DELTA, from_group=1)
+        assert round_trip(ack) == ack
+        assert round_trip(notif) == notif
+
+    def test_skeen_envelopes(self):
+        ts = SkeenTimestamp(msg_id="m42", timestamp=17, from_group=4)
+        propose = SkeenPropose(message=sample_message())
+        assert round_trip(ts) == ts
+        assert round_trip(propose) == propose
+
+    def test_tree_forward(self):
+        forward = TreeForward(message=sample_message(), sequence=9)
+        assert round_trip(forward) == forward
+
+    def test_flush_flag_survives(self):
+        flush = Message(msg_id="f1", dst=frozenset({0, 1}), is_flush=True)
+        decoded = round_trip(ClientRequest(message=flush))
+        assert decoded.message.is_flush
+
+
+class TestErrors:
+    def test_unknown_envelope_type_rejected_on_encode(self):
+        with pytest.raises(CodecError):
+            encode_frame("n", object())
+
+    def test_malformed_body_rejected_on_decode(self):
+        with pytest.raises(CodecError):
+            decode_frame(b"this is not json")
+
+    def test_unknown_type_rejected_on_decode(self):
+        import json
+
+        body = json.dumps({"sender": "x", "envelope": {"type": "mystery"}}).encode()
+        with pytest.raises(CodecError):
+            decode_frame(body)
+
+    def test_length_prefix_matches_body(self):
+        frame = encode_frame("n", ClientResponse(msg_id="m1", group=1))
+        import struct
+
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4

@@ -1,0 +1,96 @@
+"""Unit tests for the AWS-style latency matrix."""
+
+import pytest
+
+from repro.sim.latencies import (
+    AWS_REGIONS,
+    NUM_REGIONS,
+    LatencyMatrix,
+    aws_latency_matrix,
+    default_regions,
+)
+
+
+class TestDefaultMatrix:
+    def test_twelve_regions(self):
+        matrix = aws_latency_matrix()
+        assert matrix.num_sites == NUM_REGIONS == 12
+        assert len(default_regions()) == 12
+
+    def test_symmetric_latencies(self):
+        matrix = aws_latency_matrix()
+        for a in range(matrix.num_sites):
+            for b in range(matrix.num_sites):
+                if a != b:
+                    assert matrix.latency(a, b) == matrix.latency(b, a)
+
+    def test_local_latency_is_small_but_positive(self):
+        matrix = aws_latency_matrix()
+        for site in range(matrix.num_sites):
+            assert 0 < matrix.latency(site, site) < 5
+
+    def test_rtt_is_twice_one_way(self):
+        matrix = aws_latency_matrix()
+        assert matrix.rtt(0, 5) == pytest.approx(2 * matrix.latency(0, 5))
+
+    def test_names_match_region_codes(self):
+        matrix = aws_latency_matrix()
+        assert matrix.names == [code for code, _, _ in AWS_REGIONS]
+
+    def test_clusters_cover_three_continents(self):
+        matrix = aws_latency_matrix()
+        clusters = {matrix.cluster(s) for s in range(matrix.num_sites)}
+        assert clusters == {"america", "europe", "asia"}
+
+    def test_intra_continent_closer_than_inter_continent(self):
+        matrix = aws_latency_matrix()
+        # Virginia <-> Ohio (both America) is closer than Virginia <-> Tokyo.
+        assert matrix.latency(0, 1) < matrix.latency(0, 8)
+        # Ireland <-> Frankfurt closer than Ireland <-> Sydney.
+        assert matrix.latency(5, 7) < matrix.latency(5, 10)
+
+    def test_centroid_site_is_central_not_peripheral(self):
+        matrix = aws_latency_matrix()
+        centroid = matrix.centroid_site()
+        # The centroid sits between the continental extremes: it is never one
+        # of the peripheral regions (Sao Paulo, Sydney, Tokyo, ...).
+        assert matrix.cluster(centroid) in {"america", "europe"}
+        totals = [
+            sum(matrix.latency(s, d) for d in range(matrix.num_sites))
+            for s in range(matrix.num_sites)
+        ]
+        assert totals[centroid] == min(totals)
+
+    def test_nearest_sites_sorted_by_latency(self):
+        matrix = aws_latency_matrix()
+        nearest = matrix.nearest_sites(0)
+        assert len(nearest) == 11
+        distances = [matrix.latency(0, s) for s in nearest]
+        assert distances == sorted(distances)
+
+    def test_as_dict_round_trip(self):
+        matrix = aws_latency_matrix()
+        exported = matrix.as_dict()
+        assert set(exported) == set(matrix.names)
+        assert len(exported["us-east-1"]) == 12
+
+
+class TestCustomMatrix:
+    def test_custom_matrix_and_names(self):
+        matrix = LatencyMatrix(matrix=[[0, 10], [10, 0]], names=["x", "y"], local_latency=0.1)
+        assert matrix.num_sites == 2
+        assert matrix.latency(0, 1) == 10
+        assert matrix.latency(1, 1) == 0.1
+        assert matrix.cluster(0) == "unknown"
+
+    def test_rejects_non_square_matrix(self):
+        with pytest.raises(ValueError):
+            LatencyMatrix(matrix=[[0, 1], [1, 0], [2, 2]], names=["a", "b", "c"])
+
+    def test_rejects_name_count_mismatch(self):
+        with pytest.raises(ValueError):
+            LatencyMatrix(matrix=[[0, 1], [1, 0]], names=["only-one"])
+
+    def test_default_names_generated(self):
+        matrix = LatencyMatrix(matrix=[[0, 3], [3, 0]])
+        assert matrix.names == ["site-0", "site-1"]

@@ -1,0 +1,76 @@
+"""Unit tests for the transport adapters."""
+
+import pytest
+
+from repro.sim.events import EventLoop
+from repro.sim.latencies import LatencyMatrix
+from repro.sim.network import Network
+from repro.sim.transport import RecordingTransport, SimTransport
+
+
+class TestSimTransport:
+    def _net(self):
+        loop = EventLoop()
+        net = Network(loop, LatencyMatrix(matrix=[[1, 5], [5, 1]], names=["a", "b"]))
+        return loop, net
+
+    def test_send_goes_through_network(self):
+        loop, net = self._net()
+        received = []
+        net.register("n0", 0, lambda s, p: None)
+        net.register("n1", 1, lambda s, p: received.append((s, p)))
+        transport = SimTransport(net, "n0")
+        transport.send("n1", "payload")
+        loop.run_until_idle()
+        assert received == [("n0", "payload")]
+
+    def test_now_tracks_loop(self):
+        loop, net = self._net()
+        net.register("n0", 0, lambda s, p: None)
+        transport = SimTransport(net, "n0")
+        assert transport.now() == 0.0
+        loop.schedule(7.0, lambda: None)
+        loop.run_until_idle()
+        assert transport.now() == 7.0
+
+    def test_schedule_uses_loop(self):
+        loop, net = self._net()
+        net.register("n0", 0, lambda s, p: None)
+        transport = SimTransport(net, "n0")
+        fired = []
+        transport.schedule(3.0, lambda: fired.append(loop.now))
+        loop.run_until_idle()
+        assert fired == [3.0]
+
+
+class TestRecordingTransport:
+    def test_records_sends(self):
+        t = RecordingTransport("me")
+        t.send("a", 1)
+        t.send("b", 2)
+        t.send("a", 3)
+        assert t.sent == [("a", 1), ("b", 2), ("a", 3)]
+        assert t.sent_to("a") == [1, 3]
+
+    def test_clear(self):
+        t = RecordingTransport()
+        t.send("a", 1)
+        t.clear()
+        assert t.sent == []
+
+    def test_advance_fires_due_callbacks_in_order(self):
+        t = RecordingTransport()
+        fired = []
+        t.schedule(5.0, lambda: fired.append("later"))
+        t.schedule(1.0, lambda: fired.append("sooner"))
+        t.advance(10.0)
+        assert fired == ["sooner", "later"]
+        assert t.now() == 10.0
+
+    def test_cancelled_callback_does_not_fire(self):
+        t = RecordingTransport()
+        fired = []
+        handle = t.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        t.advance(5.0)
+        assert fired == []

@@ -1,0 +1,140 @@
+"""Tests for the multi-Paxos replicated log and replicated groups."""
+
+import pytest
+
+from repro.core.flexcast import FlexCastProtocol
+from repro.core.message import ClientRequest, Message
+from repro.overlay.cdag import CDagOverlay
+from repro.protocols.base import RecordingSink
+from repro.sim.events import EventLoop
+from repro.sim.latencies import LatencyMatrix
+from repro.sim.network import Network
+from repro.sim.transport import SimTransport
+from repro.smr.multipaxos import MultiPaxosReplica
+from repro.smr.replica import ReplicatedGroup
+
+
+def deploy_replicas(n=3):
+    loop = EventLoop()
+    size = max(n, 2)
+    matrix = LatencyMatrix(
+        matrix=[[1.0 if a != b else 0.1 for b in range(size)] for a in range(size)],
+        names=[f"s{i}" for i in range(size)],
+    )
+    network = Network(loop, matrix)
+    ids = [f"r{i}" for i in range(n)]
+    applied = {rid: [] for rid in ids}
+    replicas = {}
+    for i, rid in enumerate(ids):
+        replica = MultiPaxosReplica(
+            rid, ids, SimTransport(network, rid),
+            apply=lambda inst, value, rid=rid: applied[rid].append(value),
+        )
+        replicas[rid] = replica
+        network.register(rid, site=min(i, size - 1), handler=replica.on_message)
+    return loop, network, replicas, applied
+
+
+class TestReplication:
+    def test_leader_is_lowest_id(self):
+        _, _, replicas, _ = deploy_replicas()
+        assert replicas["r0"].is_leader
+        assert not replicas["r1"].is_leader
+        assert replicas["r1"].leader == "r0"
+
+    def test_commands_applied_in_the_same_order_everywhere(self):
+        loop, _, replicas, applied = deploy_replicas()
+        for i in range(5):
+            replicas[f"r{i % 3}"].submit(f"cmd-{i}")
+        loop.run_until_idle()
+        logs = list(applied.values())
+        assert all(log == logs[0] for log in logs)
+        assert sorted(logs[0]) == sorted(f"cmd-{i}" for i in range(5))
+
+    def test_followers_forward_to_leader(self):
+        loop, _, replicas, applied = deploy_replicas()
+        replicas["r2"].submit("from-follower")
+        loop.run_until_idle()
+        assert applied["r0"] == ["from-follower"]
+        assert replicas["r2"].stats["forwarded"] == 1
+
+    def test_replica_must_be_listed_in_peers(self):
+        loop, network, _, _ = deploy_replicas()
+        with pytest.raises(ValueError):
+            MultiPaxosReplica("rx", ["r0", "r1"], SimTransport(network, "rx"), apply=lambda i, v: None)
+
+    def test_leader_failover_preserves_and_continues_the_log(self):
+        loop, network, replicas, applied = deploy_replicas()
+        replicas["r0"].submit("before-crash")
+        loop.run_until_idle()
+        network.unregister("r0")
+        for rid in ("r1", "r2"):
+            replicas[rid].mark_failed("r0")
+        assert replicas["r1"].is_leader
+        replicas["r2"].submit("after-crash")
+        loop.run_until_idle()
+        assert applied["r1"] == ["before-crash", "after-crash"]
+        assert applied["r2"] == ["before-crash", "after-crash"]
+
+    def test_pending_forwarded_commands_reproposed_after_failover(self):
+        loop, network, replicas, applied = deploy_replicas()
+        # Crash the leader before it can decide the forwarded command.
+        network.unregister("r0")
+        replicas["r1"].submit("lost-then-recovered")
+        for rid in ("r1", "r2"):
+            replicas[rid].mark_failed("r0")
+        loop.run_until_idle()
+        assert applied["r1"] == ["lost-then-recovered"]
+        assert applied["r2"] == ["lost-then-recovered"]
+
+    def test_single_replica_group_works(self):
+        loop, _, replicas, applied = deploy_replicas(n=1)
+        replicas["r0"].submit("solo")
+        loop.run_until_idle()
+        assert applied["r0"] == ["solo"]
+        assert replicas["r0"].log == ["solo"]
+
+
+class TestReplicatedGroup:
+    def test_replicated_flexcast_group_delivers_once_and_replicas_agree(self):
+        loop = EventLoop()
+        matrix = LatencyMatrix(matrix=[[0.5, 5], [5, 0.5]], names=["x", "y"])
+        network = Network(loop, matrix)
+        overlay = CDagOverlay([0, 1])
+        protocol = FlexCastProtocol(overlay)
+        sink = RecordingSink()
+        group = ReplicatedGroup(
+            group_id=0, protocol=protocol, network=network, site=0, sink=sink,
+            replication_factor=3,
+        )
+        request = ClientRequest(message=Message(msg_id="m1", dst=frozenset({0})))
+        network.register("client", site=1, handler=lambda s, p: None)
+        network.send("client", group.leader.replica_id, request)
+        loop.run_until_idle()
+        # Delivered exactly once to the outside world...
+        assert sink.sequence(0) == ["m1"]
+        # ...and every replica applied the same ordered request.
+        sequences = group.delivered_sequences()
+        assert all(seq == ["m1"] for seq in sequences.values())
+
+    def test_leader_crash_then_new_requests_still_delivered(self):
+        loop = EventLoop()
+        matrix = LatencyMatrix(matrix=[[0.5, 5], [5, 0.5]], names=["x", "y"])
+        network = Network(loop, matrix)
+        protocol = FlexCastProtocol(CDagOverlay([0, 1]))
+        sink = RecordingSink()
+        group = ReplicatedGroup(
+            group_id=0, protocol=protocol, network=network, site=0, sink=sink,
+            replication_factor=3,
+        )
+        network.register("client", site=1, handler=lambda s, p: None)
+        network.send("client", group.leader.replica_id,
+                     ClientRequest(message=Message(msg_id="m1", dst=frozenset({0}))))
+        loop.run_until_idle()
+        group.crash_replica(0, network)
+        new_leader = group.leader
+        assert new_leader.replica_id != group.replicas[0].replica_id
+        network.send("client", new_leader.replica_id,
+                     ClientRequest(message=Message(msg_id="m2", dst=frozenset({0}))))
+        loop.run_until_idle()
+        assert sink.sequence(0) == ["m1", "m2"]

@@ -1,0 +1,119 @@
+"""Unit tests for single-decree Paxos roles."""
+
+import pytest
+
+from repro.smr.paxos import (
+    Accept,
+    Accepted,
+    Acceptor,
+    Ballot,
+    Nack,
+    Prepare,
+    Promise,
+    Proposer,
+    ZERO_BALLOT,
+)
+
+
+class TestBallot:
+    def test_total_order(self):
+        assert Ballot(0, 1) < Ballot(1, 0)
+        assert Ballot(1, 0) < Ballot(1, 2)
+        assert Ballot(1, 2) <= Ballot(1, 2)
+        assert ZERO_BALLOT < Ballot(0, 0)
+
+    def test_next_increments_round(self):
+        assert Ballot(3, 7).next() == Ballot(4, 7)
+
+
+class TestAcceptor:
+    def test_promises_higher_ballots(self):
+        acceptor = Acceptor("a")
+        reply = acceptor.on_prepare(Prepare(instance=0, ballot=Ballot(1, 0)))
+        assert isinstance(reply, Promise)
+        assert reply.accepted_ballot == ZERO_BALLOT and reply.accepted_value is None
+
+    def test_nacks_lower_or_equal_ballots(self):
+        acceptor = Acceptor("a")
+        acceptor.on_prepare(Prepare(instance=0, ballot=Ballot(5, 0)))
+        reply = acceptor.on_prepare(Prepare(instance=0, ballot=Ballot(2, 0)))
+        assert isinstance(reply, Nack)
+        assert reply.promised == Ballot(5, 0)
+
+    def test_accepts_at_promised_ballot(self):
+        acceptor = Acceptor("a")
+        acceptor.on_prepare(Prepare(instance=0, ballot=Ballot(1, 0)))
+        reply = acceptor.on_accept(Accept(instance=0, ballot=Ballot(1, 0), value="v"))
+        assert isinstance(reply, Accepted)
+        assert acceptor.accepted_value(0) == "v"
+
+    def test_rejects_accept_below_promise(self):
+        acceptor = Acceptor("a")
+        acceptor.on_prepare(Prepare(instance=0, ballot=Ballot(5, 0)))
+        reply = acceptor.on_accept(Accept(instance=0, ballot=Ballot(1, 0), value="v"))
+        assert isinstance(reply, Nack)
+        assert acceptor.accepted_value(0) is None
+
+    def test_previously_accepted_value_reported_in_promise(self):
+        acceptor = Acceptor("a")
+        acceptor.on_prepare(Prepare(instance=0, ballot=Ballot(1, 0)))
+        acceptor.on_accept(Accept(instance=0, ballot=Ballot(1, 0), value="old"))
+        promise = acceptor.on_prepare(Prepare(instance=0, ballot=Ballot(2, 1)))
+        assert promise.accepted_value == "old"
+        assert promise.accepted_ballot == Ballot(1, 0)
+
+    def test_instances_are_independent(self):
+        acceptor = Acceptor("a")
+        acceptor.on_prepare(Prepare(instance=0, ballot=Ballot(9, 0)))
+        reply = acceptor.on_prepare(Prepare(instance=1, ballot=Ballot(1, 0)))
+        assert isinstance(reply, Promise)
+
+
+class TestProposer:
+    def _promise(self, ballot, replica, accepted_ballot=ZERO_BALLOT, accepted_value=None):
+        return Promise(
+            instance=0,
+            ballot=ballot,
+            accepted_ballot=accepted_ballot,
+            accepted_value=accepted_value,
+            from_replica=replica,
+        )
+
+    def test_phase2_starts_after_quorum_of_promises(self):
+        proposer = Proposer(instance=0, ballot=Ballot(1, 0), value="mine", quorum_size=2)
+        assert not proposer.on_promise(self._promise(Ballot(1, 0), "a"))
+        assert proposer.on_promise(self._promise(Ballot(1, 0), "b"))
+        assert proposer.accept_message().value == "mine"
+
+    def test_adopts_highest_previously_accepted_value(self):
+        proposer = Proposer(instance=0, ballot=Ballot(2, 0), value="mine", quorum_size=2)
+        proposer.on_promise(self._promise(Ballot(2, 0), "a", Ballot(0, 1), "older"))
+        proposer.on_promise(self._promise(Ballot(2, 0), "b", Ballot(1, 1), "newer"))
+        assert proposer.accept_message().value == "newer"
+
+    def test_chosen_after_quorum_of_accepts(self):
+        proposer = Proposer(instance=0, ballot=Ballot(1, 0), value="v", quorum_size=2)
+        proposer.on_promise(self._promise(Ballot(1, 0), "a"))
+        proposer.on_promise(self._promise(Ballot(1, 0), "b"))
+        acc = Accepted(instance=0, ballot=Ballot(1, 0), value="v", from_replica="a")
+        assert not proposer.on_accepted(acc)
+        acc2 = Accepted(instance=0, ballot=Ballot(1, 0), value="v", from_replica="b")
+        assert proposer.on_accepted(acc2)
+        assert proposer.chosen
+
+    def test_stale_ballot_messages_ignored(self):
+        proposer = Proposer(instance=0, ballot=Ballot(3, 0), value="v", quorum_size=1)
+        assert not proposer.on_promise(self._promise(Ballot(2, 0), "a"))
+        assert not proposer.on_accepted(
+            Accepted(instance=0, ballot=Ballot(2, 0), value="v", from_replica="a")
+        )
+
+    def test_accept_message_requires_phase2(self):
+        proposer = Proposer(instance=0, ballot=Ballot(1, 0), value="v", quorum_size=2)
+        with pytest.raises(RuntimeError):
+            proposer.accept_message()
+
+    def test_nack_records_preempting_ballot(self):
+        proposer = Proposer(instance=0, ballot=Ballot(1, 0), value="v", quorum_size=2)
+        proposer.on_nack(Nack(instance=0, ballot=Ballot(1, 0), promised=Ballot(7, 1), from_replica="a"))
+        assert proposer.preempted_by == Ballot(7, 1)

@@ -1,0 +1,96 @@
+"""Tests for the closed-loop simulator clients."""
+
+import random
+
+import pytest
+
+from repro.core.flexcast import FlexCastProtocol
+from repro.core.message import ClientResponse
+from repro.overlay.cdag import CDagOverlay
+from repro.sim.events import EventLoop
+from repro.sim.latencies import LatencyMatrix
+from repro.sim.network import Network
+from repro.sim.transport import SimTransport
+from repro.workload.clients import ClosedLoopClient
+from repro.workload.gtpcc import GTPCCConfig, GTPCCWorkload
+
+
+def deploy(num_groups=3, stop_after_ms=500.0, think_time_ms=0.0):
+    loop = EventLoop()
+    matrix = LatencyMatrix(
+        matrix=[[1 if a == b else 10 for b in range(num_groups)] for a in range(num_groups)],
+        names=[f"s{i}" for i in range(num_groups)],
+        local_latency=1.0,
+    )
+    network = Network(loop, matrix)
+    overlay = CDagOverlay(list(range(num_groups)))
+    protocol = FlexCastProtocol(overlay)
+
+    def sink(group_id, message):
+        if network.is_registered(message.sender):
+            network.send(group_id, message.sender, ClientResponse(msg_id=message.msg_id, group=group_id))
+
+    for gid in overlay.groups:
+        group = protocol.create_group(gid, SimTransport(network, gid), sink)
+        network.register(gid, site=gid, handler=group.on_envelope)
+
+    workload = GTPCCWorkload(matrix, GTPCCConfig(locality=0.9, global_only=True))
+    completed = []
+    client = ClosedLoopClient(
+        client_id="client-0",
+        home=0,
+        protocol=protocol,
+        workload=workload,
+        network=network,
+        rng=random.Random(1),
+        group_node=lambda gid: gid,
+        on_complete=completed.append,
+        stop_after_ms=stop_after_ms,
+        think_time_ms=think_time_ms,
+    )
+    return loop, network, client, completed
+
+
+class TestClosedLoop:
+    def test_client_issues_transactions_until_the_deadline(self):
+        loop, network, client, completed = deploy(stop_after_ms=500.0)
+        client.start()
+        loop.run_until_idle()
+        assert client.issued > 5
+        assert client.completed == client.issued
+        assert len(completed) == client.completed
+        assert client.outstanding == 0
+
+    def test_one_transaction_in_flight_at_a_time(self):
+        loop, network, client, completed = deploy(stop_after_ms=300.0)
+        client.start()
+        while loop.step():
+            assert client.outstanding <= 1
+
+    def test_completed_records_carry_sorted_latencies(self):
+        loop, network, client, completed = deploy(stop_after_ms=300.0)
+        client.start()
+        loop.run_until_idle()
+        for record in completed:
+            assert record.latencies_by_arrival == sorted(record.latencies_by_arrival)
+            assert record.is_global and record.destinations >= 2
+            assert record.completed_at >= record.submitted_at
+            assert record.home == 0
+
+    def test_think_time_reduces_throughput(self):
+        loop1, _, busy, _ = deploy(stop_after_ms=400.0, think_time_ms=0.0)
+        busy.start()
+        loop1.run_until_idle()
+        loop2, _, idle, _ = deploy(stop_after_ms=400.0, think_time_ms=50.0)
+        idle.start()
+        loop2.run_until_idle()
+        assert idle.issued < busy.issued
+
+    def test_stop_prevents_further_transactions(self):
+        loop, network, client, completed = deploy(stop_after_ms=10_000.0)
+        client.start()
+        loop.run(until=100.0)
+        issued_at_stop = client.issued
+        client.stop()
+        loop.run_until_idle()
+        assert client.issued <= issued_at_stop + 1
