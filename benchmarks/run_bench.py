@@ -1,0 +1,235 @@
+#!/usr/bin/env python
+"""Standalone micro-benchmark harness for the FlexCast core hot path.
+
+Times the four operations that dominate per-delivery cost — ``depends``,
+``diff_for``, ``merge_delta`` and a full lca delivery round — at several
+history sizes, and writes the op/sec numbers to ``BENCH_micro.json`` so the
+perf trajectory is tracked across PRs (see DESIGN.md for the before/after
+complexity table these numbers validate).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py
+    PYTHONPATH=src python benchmarks/run_bench.py --sizes 200,1000 --with-tests
+
+``--with-tests`` first runs the tier-1 pytest suite and records its outcome in
+the report; CI wires both together (.github/workflows/ci.yml).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.flexcast import FlexCastGroup  # noqa: E402
+from repro.core.history import History, HistoryDiffTracker  # noqa: E402
+from repro.core.message import Message  # noqa: E402
+from repro.overlay.cdag import CDagOverlay  # noqa: E402
+from repro.protocols.base import RecordingSink  # noqa: E402
+from repro.sim.transport import RecordingTransport  # noqa: E402
+
+DEFAULT_SIZES = (200, 1000, 5000)
+#: Aim for roughly this much wall time per measurement.
+TARGET_SECONDS = 0.25
+MIN_ITERS = 5
+
+
+def build_chain_history(length: int) -> History:
+    """The chain shape: each delivery depends on the previous one."""
+    history = History()
+    for i in range(length):
+        history.record_delivery(Message(msg_id=f"m{i}", dst=frozenset({i % 4})))
+    return history
+
+
+def _measure(op: Callable[[], None], repeat: int) -> Dict[str, float]:
+    """Run ``op`` until ~TARGET_SECONDS, ``repeat`` times; keep the best run."""
+    # Calibrate the iteration count on a short warm-up.
+    op()
+    start = time.perf_counter()
+    op()
+    single = max(time.perf_counter() - start, 1e-9)
+    iters = max(MIN_ITERS, int(TARGET_SECONDS / single))
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        for _ in range(iters):
+            op()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed / iters)
+    return {"ops_per_sec": 1.0 / best, "seconds_per_op": best, "iters": iters}
+
+
+# ------------------------------------------------------------- benchmark defs
+def bench_depends(size: int) -> Callable[[], None]:
+    history = build_chain_history(size)
+    first, last = "m0", f"m{size - 1}"
+
+    def op() -> None:
+        assert history.depends(last, first)
+
+    return op
+
+
+def bench_diff_for(size: int) -> Callable[[], None]:
+    """Steady state: the descendant is up to date, the diff is empty.
+
+    This is the per-send cost on the delivery hot path once a descendant has
+    been bootstrapped — the acceptance metric for the incremental indexes.
+    """
+    history = build_chain_history(size)
+    tracker = HistoryDiffTracker()
+    tracker.diff_for("peer", history)
+
+    def op() -> None:
+        assert tracker.diff_for("peer", history).is_empty
+
+    return op
+
+
+def bench_diff_for_cold(size: int) -> Callable[[], None]:
+    """First contact: a new descendant receives the entire history."""
+    history = build_chain_history(size)
+
+    def op() -> None:
+        HistoryDiffTracker().diff_for("peer", history)
+
+    return op
+
+
+def bench_merge_delta(size: int) -> Callable[[], None]:
+    delta = build_chain_history(size).full_delta()
+
+    def op() -> None:
+        History().merge_delta(delta)
+
+    return op
+
+
+def bench_delivery_round(size: int) -> Callable[[], None]:
+    """One steady-state lca delivery round with |H| = ``size``.
+
+    The group already holds a history of ``size`` messages and its
+    destinations are up to date; each operation is one new client request:
+    deliver locally, diff the history for both other destinations, forward.
+    """
+    overlay = CDagOverlay(list(range(12)))
+    group = FlexCastGroup(0, overlay, RecordingTransport(0), RecordingSink())
+    for i in range(size):
+        group.history.record_delivery(
+            Message(msg_id=f"fill-{i}", dst=frozenset({0, 3, 7}))
+        )
+    for dest in (3, 7):
+        group.diff_tracker.diff_for(dest, group.history)
+    counter = {"i": 0}
+
+    def op() -> None:
+        counter["i"] += 1
+        group.on_client_request(
+            Message(msg_id=f"bench-{counter['i']}", dst=frozenset({0, 3, 7}))
+        )
+
+    return op
+
+
+BENCHMARKS: Dict[str, Callable[[int], Callable[[], None]]] = {
+    "depends": bench_depends,
+    "diff_for": bench_diff_for,
+    "diff_for_cold": bench_diff_for_cold,
+    "merge_delta": bench_merge_delta,
+    "delivery_round": bench_delivery_round,
+}
+
+
+def run_tier1() -> Dict[str, object]:
+    """Run the tier-1 pytest suite; returns outcome metadata."""
+    cmd = [sys.executable, "-m", "pytest", "tests", "-q"]
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    start = time.perf_counter()
+    proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env, capture_output=True, text=True)
+    elapsed = time.perf_counter() - start
+    tail = proc.stdout.strip().splitlines()[-1] if proc.stdout.strip() else ""
+    return {
+        "command": " ".join(cmd),
+        "returncode": proc.returncode,
+        "seconds": round(elapsed, 2),
+        "summary": tail,
+    }
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes",
+        default=",".join(str(s) for s in DEFAULT_SIZES),
+        help="comma-separated history sizes (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3, help="measurement repeats, best kept"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_micro.json"),
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--with-tests",
+        action="store_true",
+        help="run the tier-1 pytest suite first and record its outcome",
+    )
+    args = parser.parse_args(argv)
+    try:
+        sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    except ValueError:
+        parser.error(f"--sizes must be comma-separated integers, got {args.sizes!r}")
+    if not sizes:
+        parser.error("--sizes must name at least one history size")
+
+    report: Dict[str, object] = {
+        "schema": 1,
+        "unit": "ops_per_sec",
+        "sizes": sizes,
+        "benchmarks": {},
+    }
+
+    if args.with_tests:
+        tier1 = run_tier1()
+        report["tier1"] = tier1
+        print(f"tier-1: {tier1['summary']} (rc={tier1['returncode']})")
+        if tier1["returncode"] != 0:
+            json.dump(report, open(args.output, "w"), indent=2)
+            return int(tier1["returncode"])
+
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name, factory in BENCHMARKS.items():
+        results[name] = {}
+        for size in sizes:
+            measurement = _measure(factory(size), repeat=args.repeat)
+            results[name][str(size)] = measurement
+            print(
+                f"{name:>16} |H|={size:<6} {measurement['ops_per_sec']:>14,.0f} op/s"
+            )
+    report["benchmarks"] = results
+
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -117,6 +117,23 @@ class FlexCastGroup(AtomicMulticastGroup):
         self.pending_notifications: List[PendingNotification] = []
         #: ``diff-hst`` bookkeeping per descendant.
         self.diff_tracker = HistoryDiffTracker()
+        #: Incrementally maintained ``open-dependencies`` set: ids of history
+        #: vertices addressed to this group that it has not delivered yet.
+        #: Updated on merge (additions), delivery (removal) and GC (removal),
+        #: replacing the seed's full history scan.
+        self._undelivered_to_me: Set[str] = set()
+        #: msg_id -> (dependency epoch, dependencies_satisfied) memo for
+        #: :meth:`can_deliver`'s reachability check.
+        self._dep_cache: Dict[str, tuple] = {}
+        #: Bumped whenever the dependency state (history structure or the
+        #: open-dependency set) may have changed; versions the memo above.
+        #: A plain history mutation counter is not enough: delivering a
+        #: vertex that was already merged shrinks the blocking set without
+        #: touching the history.
+        self._dep_epoch = 0
+        #: Ancestor queues whose head may have become deliverable since the
+        #: last :meth:`reprocess_queues` drain (dirty-set scheduling).
+        self._dirty_queues: Set[GroupId] = set()
         # Statistics (exposed for tests, ablations and Figure 8 style reports).
         self.stats = {
             "msgs_received": 0,
@@ -125,6 +142,7 @@ class FlexCastGroup(AtomicMulticastGroup):
             "notifs_sent": 0,
             "acks_sent": 0,
             "gc_pruned": 0,
+            "journal_compacted": 0,
         }
 
     # --------------------------------------------------------------- helpers
@@ -141,6 +159,29 @@ class FlexCastGroup(AtomicMulticastGroup):
     def lca_of(self, message: Message) -> GroupId:
         """The lowest common ancestor (entry group) of ``message``."""
         return self.overlay.lca(message.dst)
+
+    def _merge_history(self, delta) -> None:
+        """Merge an incoming delta and index its new open dependencies.
+
+        Scanning only the delta's vertices keeps the update O(|delta|); the
+        membership check filters duplicates and forgotten (GC'd) vertices
+        that :meth:`History.merge_delta` refused to re-add.
+        """
+        if delta is None or delta.is_empty:
+            return
+        self.history.merge_delta(delta)
+        self._dep_epoch += 1
+        me = self.group_id
+        for mid, dst in delta.vertices:
+            if me in dst and mid not in self.delivered_in_g and mid in self.history:
+                self._undelivered_to_me.add(mid)
+
+    def _mark_queue_dirty(self, lca: GroupId) -> None:
+        if lca in self.queues:
+            self._dirty_queues.add(lca)
+
+    def _mark_all_queues_dirty(self) -> None:
+        self._dirty_queues.update(g for g, q in self.queues.items() if q)
 
     # ------------------------------------------------------------ entry points
     def on_client_request(self, message: Message) -> None:
@@ -188,29 +229,33 @@ class FlexCastGroup(AtomicMulticastGroup):
             # Only clients submit at the lca; other groups never forward here.
             self.a_deliver(message)
             return
-        self.history.merge_delta(envelope.history)
+        self._merge_history(envelope.history)
         entry = self._pending_for(message)
         entry.notified.update(envelope.notified)
         if not entry.enqueued and message.msg_id not in self.delivered_in_g:
             self.queues[self.lca_of(message)].append(message)
             entry.enqueued = True
+        self._mark_queue_dirty(self.lca_of(message))
         self.reprocess_queues()
 
     def _on_ack(self, envelope: FlexCastAck) -> None:
         """``upon receiving [ack, m, history] from ancestor a``."""
         message = envelope.message
         self.stats["acks_received"] += 1
-        self.history.merge_delta(envelope.history)
+        self._merge_history(envelope.history)
         entry = self._pending_for(message)
         entry.acks.add(envelope.from_group)
         entry.notified.update(envelope.notified)
+        # Only this message's ack-wait condition can have relaxed (merges
+        # never unblock a head), so only its queue needs re-examination.
+        self._mark_queue_dirty(self.lca_of(message))
         self.reprocess_queues()
 
     def _on_notif(self, envelope: FlexCastNotif) -> None:
         """``upon receiving [notif, m, history]`` at a non-destination group."""
         message = envelope.message
         self.stats["notifs_received"] += 1
-        self.history.merge_delta(envelope.history)
+        self._merge_history(envelope.history)
         open_deps = self.open_dependencies()
         if open_deps:
             # We must first deliver our own outstanding messages, otherwise the
@@ -224,17 +269,20 @@ class FlexCastGroup(AtomicMulticastGroup):
     # ----------------------------------------------------------- core functions
     def open_dependencies(self) -> Set[str]:
         """Messages addressed to this group present in the history but not yet
-        delivered here (``open-dependencies``)."""
-        return {
-            mid
-            for mid in self.history.messages_addressed_to(self.group_id)
-            if mid not in self.delivered_in_g
-        }
+        delivered here (``open-dependencies``).
+
+        O(answer): the set is maintained incrementally on merge/deliver/GC
+        instead of re-scanning the whole history per call.
+        """
+        return set(self._undelivered_to_me)
 
     def a_deliver(self, message: Message) -> None:
         """Deliver ``message`` and propagate ordering information (``a-deliver``)."""
         self.history.record_delivery(message)
         self.delivered_in_g.add(message.msg_id)
+        self._undelivered_to_me.discard(message.msg_id)
+        self._dep_cache.pop(message.msg_id, None)
+        self._dep_epoch += 1
         self.deliver(message)
 
         if self.lca_of(message) == self.group_id:
@@ -257,6 +305,10 @@ class FlexCastGroup(AtomicMulticastGroup):
 
         if message.is_flush:
             self._garbage_collect(message)
+
+        # Removing this message from the open-dependency set may have
+        # unblocked the head of any queue.
+        self._mark_all_queues_dirty()
 
     def send_descendants(self, message: Message, ack: bool) -> None:
         """Send ``msg`` or ``ack`` envelopes to the destinations above us
@@ -311,28 +363,60 @@ class FlexCastGroup(AtomicMulticastGroup):
 
     def reprocess_queues(self) -> None:
         """Repeatedly deliver queue heads whose dependencies are satisfied
-        (``reprocess-queues``)."""
-        delivered = True
-        while delivered:
-            delivered = False
-            for queue in self.queues.values():
-                if queue and self.can_deliver(queue[0]):
-                    self.a_deliver(queue[0])
-                    delivered = True
-                    break  # queues changed; restart the scan
+        (``reprocess-queues``).
+
+        Only *dirty* queues — those whose head's delivery condition may have
+        changed since the last drain — are examined, instead of restarting a
+        scan over every queue after each delivery.  The invariant is that a
+        clean queue's head is not deliverable: every event that can relax a
+        head's condition (enqueue, ack arrival, local delivery, GC) marks the
+        affected queue(s) dirty.
+        """
+        dirty = self._dirty_queues
+        while dirty:
+            lca = dirty.pop()
+            queue = self.queues.get(lca)
+            while queue and self.can_deliver(queue[0]):
+                # a_deliver pops the head and re-marks all queues dirty.
+                self.a_deliver(queue[0])
 
     def can_deliver(self, message: Message) -> bool:
         """Delivery condition for non-lca destinations (``can-deliver``)."""
         if not self.ancestors_to_ack(message) <= self.ancestors_that_acked(message):
             return False
-        # Any message addressed to this group that precedes `message` must have
-        # been delivered here already.
-        for mid in self.history.messages_addressed_to(self.group_id):
-            if mid in self.delivered_in_g:
+        return self._dependencies_satisfied(message.msg_id)
+
+    def _dependencies_satisfied(self, msg_id: str) -> bool:
+        """True iff no undelivered message addressed to this group precedes
+        ``msg_id``.
+
+        A single backward reachability pass over the candidate's ancestors,
+        instead of the seed's one forward BFS over the whole DAG per open
+        dependency.  The result is memoized against the dependency epoch, so
+        re-checks of a still-blocked head after unrelated events are O(1).
+        """
+        blocking = self._undelivered_to_me
+        if not blocking or (len(blocking) == 1 and msg_id in blocking):
+            return True
+        epoch = self._dep_epoch
+        cached = self._dep_cache.get(msg_id)
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        satisfied = True
+        predecessors = self.history.predecessors
+        queue = deque(predecessors.get(msg_id, ()))
+        seen: Set[str] = set()
+        while queue:
+            node = queue.popleft()
+            if node in seen:
                 continue
-            if self.history.depends(message.msg_id, mid):
-                return False
-        return True
+            seen.add(node)
+            if node in blocking:
+                satisfied = False
+                break
+            queue.extend(predecessors.get(node, ()))
+        self._dep_cache[msg_id] = (epoch, satisfied)
+        return satisfied
 
     def ancestors_to_ack(self, message: Message) -> Set[GroupId]:
         """Groups whose ack this group must wait for (``ancestors-to-ack``).
@@ -360,18 +444,25 @@ class FlexCastGroup(AtomicMulticastGroup):
 
     # ------------------------------------------------------- garbage collection
     def _garbage_collect(self, flush: Message) -> None:
-        """Prune everything ordered before a delivered flush message (§4.3)."""
+        """Prune everything ordered before a delivered flush message (§4.3).
+
+        O(victims): the history hands back the removed ids directly (no
+        before/after snapshot diff) and the diff tracker compacts the change
+        journal up to the lowest descendant watermark.
+        """
         keep = set()
         if self.history.last_delivered is not None:
             keep.add(self.history.last_delivered)
-        victims_before = set(self.history.message_ids())
-        pruned = self.history.prune_before(flush.msg_id, keep=keep)
-        victims = victims_before - set(self.history.message_ids())
-        self.diff_tracker.forget(victims)
+        victims = self.history.collect_garbage(flush.msg_id, keep=keep)
+        compacted = self.diff_tracker.forget(victims, history=self.history)
+        self._undelivered_to_me -= victims
+        self._dep_epoch += 1
         for victim in victims:
             self.pending.pop(victim, None)
             self.delivered_in_g.discard(victim)
-        self.stats["gc_pruned"] += pruned
+            self._dep_cache.pop(victim, None)
+        self.stats["gc_pruned"] += len(victims)
+        self.stats["journal_compacted"] += compacted
 
     # ------------------------------------------------------------- inspection
     def queue_sizes(self) -> Dict[GroupId, int]:

@@ -10,6 +10,13 @@ it mattered, so those history entries can be forgotten.
 client of the protocol (it submits ordinary multicast messages flagged
 ``is_flush``); the pruning itself happens inside
 :meth:`repro.core.flexcast.FlexCastGroup._garbage_collect`.
+
+Beyond the history vertices themselves, a flush also bounds the *incremental*
+bookkeeping (DESIGN.md): the per-group destination index sheds the pruned
+ids, the diff tracker's per-descendant watermarks stay valid as-is, and the
+history's change journal is compacted up to the lowest watermark — so every
+index the hot path relies on stays O(live history), making the flush interval
+the single knob that trades memory for (tiny) extra protocol traffic.
 """
 
 from __future__ import annotations

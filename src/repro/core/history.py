@@ -12,6 +12,17 @@ before ``m2`` somewhere, so every group must respect that order.  Each group:
   :class:`HistoryDiffTracker`) so the ever-growing history is never resent;
 * prunes the history when a garbage-collection ``flush`` message is delivered
   (§4.3).
+
+The structure is maintained *incrementally* so the delivery hot path scales
+with the delta, not with ``|H|`` (see DESIGN.md for the complexity table and
+invariants):
+
+* a per-group destination index makes ``messages_addressed_to`` /
+  ``contains_message_to`` O(1)-amortized lookups instead of full scans;
+* an append-only, monotonically versioned *change journal* records every
+  vertex/edge insertion; diff computation is a slice of the journal past a
+  descendant's watermark (:meth:`History.changes_since`), not a rescan of the
+  whole DAG.
 """
 
 from __future__ import annotations
@@ -21,6 +32,11 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..overlay.base import GroupId
 from .message import EMPTY_DELTA, HistoryDelta, Message
+
+#: Journal entry kinds.  Entries are plain tuples to keep append cheap:
+#: ``(_JOURNAL_VERTEX, msg_id, dst)`` or ``(_JOURNAL_EDGE, before, after)``.
+_JOURNAL_VERTEX = "v"
+_JOURNAL_EDGE = "e"
 
 
 class History:
@@ -33,9 +49,29 @@ class History:
       where an edge ``(a, b)`` means *b depends on a* (a was ordered first);
     * ``lastDlvd`` — :attr:`last_delivered`, the id of the last message this
       group itself delivered.
+
+    On top of the paper structure, two incremental indexes are maintained on
+    every mutation (the invariants are spelled out in DESIGN.md):
+
+    * ``_by_group`` — ``group -> {msg_id}`` over the *live* vertices, kept in
+      sync by :meth:`add_vertex` / :meth:`_remove_vertex`;
+    * ``_journal`` — the append-only change journal.  ``version`` is the
+      sequence number of the next entry; removals are never journaled (diffs
+      only ship additions, exactly like the seed implementation) — pruned
+      entries are filtered lazily in :meth:`changes_since` and dropped for
+      good when the journal is compacted.
     """
 
-    __slots__ = ("destinations", "successors", "predecessors", "last_delivered", "_forgotten")
+    __slots__ = (
+        "destinations",
+        "successors",
+        "predecessors",
+        "last_delivered",
+        "_forgotten",
+        "_by_group",
+        "_journal",
+        "_journal_base",
+    )
 
     def __init__(self) -> None:
         self.destinations: Dict[str, FrozenSet[GroupId]] = {}
@@ -47,6 +83,13 @@ class History:
         # dependencies and block delivery forever, so they are remembered and
         # filtered out on merge.
         self._forgotten: Set[str] = set()
+        # group -> ids of live vertices addressed to that group.
+        self._by_group: Dict[GroupId, Set[str]] = {}
+        # Append-only change journal; _journal_base is the sequence number of
+        # the first retained entry (entries below it were compacted away once
+        # every tracked descendant's watermark had passed them).
+        self._journal: List[Tuple] = []
+        self._journal_base = 0
 
     # ---------------------------------------------------------------- basics
     def __contains__(self, msg_id: str) -> bool:
@@ -58,6 +101,21 @@ class History:
     @property
     def num_edges(self) -> int:
         return sum(len(s) for s in self.successors.values())
+
+    @property
+    def version(self) -> int:
+        """Sequence number of the next journal entry (monotonic)."""
+        return self._journal_base + len(self._journal)
+
+    @property
+    def journal_len(self) -> int:
+        """Number of journal entries currently retained (introspection)."""
+        return len(self._journal)
+
+    @property
+    def journal_base(self) -> int:
+        """Sequence number of the oldest retained journal entry."""
+        return self._journal_base
 
     def destinations_of(self, msg_id: str) -> FrozenSet[GroupId]:
         return self.destinations[msg_id]
@@ -76,12 +134,16 @@ class History:
         self.destinations[msg_id] = dst
         self.successors.setdefault(msg_id, set())
         self.predecessors.setdefault(msg_id, set())
+        for group in dst:
+            self._by_group.setdefault(group, set()).add(msg_id)
+        self._journal.append((_JOURNAL_VERTEX, msg_id, dst))
 
     def add_edge(self, before: str, after: str) -> None:
         """Record that ``before`` was ordered before ``after``.
 
         Both endpoints must already be vertices; edges touching forgotten
         messages are dropped because the dependency has been fully resolved.
+        Duplicate edges are ignored (and not journaled again).
         """
         if before in self._forgotten or after in self._forgotten:
             return
@@ -89,8 +151,12 @@ class History:
             return
         if before == after:
             return
-        self.successors[before].add(after)
+        succ = self.successors[before]
+        if after in succ:
+            return
+        succ.add(after)
         self.predecessors[after].add(before)
+        self._journal.append((_JOURNAL_EDGE, before, after))
 
     def record_delivery(self, message: Message) -> None:
         """Append a locally delivered message to the group's total order.
@@ -100,9 +166,9 @@ class History:
         """
         self.add_vertex(message.msg_id, message.dst)
         if self.last_delivered is not None and self.last_delivered != message.msg_id:
-            # lastDlvd may have been pruned; the edge is then meaningless.
-            if self.last_delivered in self.destinations:
-                self.add_edge(self.last_delivered, message.msg_id)
+            # add_edge validates both endpoints, so a pruned lastDlvd (whose
+            # edge would be meaningless) is rejected there.
+            self.add_edge(self.last_delivered, message.msg_id)
         self.last_delivered = message.msg_id
 
     def merge_delta(self, delta: HistoryDelta) -> None:
@@ -153,12 +219,16 @@ class History:
         return result
 
     def messages_addressed_to(self, group: GroupId) -> List[str]:
-        """Ids of all messages in the history addressed to ``group``."""
-        return [mid for mid, dst in self.destinations.items() if group in dst]
+        """Ids of all messages in the history addressed to ``group``.
+
+        O(answer) thanks to the per-group destination index (the seed scanned
+        every vertex on every call).
+        """
+        return list(self._by_group.get(group, ()))
 
     def contains_message_to(self, group: GroupId) -> bool:
-        """Paper's ``hst.containsMsgTo(g)`` used by Strategy (c)."""
-        return any(group in dst for dst in self.destinations.values())
+        """Paper's ``hst.containsMsgTo(g)`` used by Strategy (c).  O(1)."""
+        return bool(self._by_group.get(group))
 
     def has_cycle(self) -> bool:
         """Defensive check used by tests/checker; the protocol never creates one."""
@@ -177,28 +247,96 @@ class History:
 
         return any(colors.get(n, 0) == 0 and visit(n) for n in self.destinations)
 
+    # ----------------------------------------------------------- journal/diff
+    def changes_since(
+        self, watermark: int
+    ) -> Tuple[Tuple[Tuple[str, FrozenSet[GroupId]], ...], Tuple[Tuple[str, str], ...], int]:
+        """Live vertices/edges journaled at or after ``watermark``.
+
+        Returns ``(vertices, edges, version)`` where ``version`` is the new
+        watermark for the caller.  Entries whose vertices were pruned in the
+        meantime are filtered out, so a forgotten message can never reappear
+        in a delta.  If ``watermark`` predates the retained journal (only
+        possible for a brand-new descendant after compaction), the full live
+        history is returned instead.
+        """
+        version = self.version
+        if watermark >= version:
+            return (), (), version
+        if watermark < self._journal_base:
+            # The journal below the base was compacted because every tracked
+            # descendant had already seen it; a caller this far behind has
+            # never been sent anything, so ship the whole live history once.
+            vertices = tuple(self.destinations.items())
+            edges = tuple(self.edges())
+            return vertices, edges, version
+        new_vertices: List[Tuple[str, FrozenSet[GroupId]]] = []
+        new_edges: List[Tuple[str, str]] = []
+        destinations = self.destinations
+        successors = self.successors
+        for entry in self._journal[watermark - self._journal_base :]:
+            if entry[0] == _JOURNAL_VERTEX:
+                if entry[1] in destinations:
+                    new_vertices.append((entry[1], entry[2]))
+            else:
+                before, after = entry[1], entry[2]
+                if after in successors.get(before, ()):
+                    new_edges.append((before, after))
+        return tuple(new_vertices), tuple(new_edges), version
+
+    def compact_journal(self, upto: int) -> int:
+        """Drop journal entries below sequence number ``upto``.
+
+        Only safe when every tracked descendant's watermark is >= ``upto``
+        (enforced by :meth:`HistoryDiffTracker.forget`, the sole caller on the
+        protocol path).  Returns the number of entries dropped.
+        """
+        upto = min(upto, self.version)
+        if upto <= self._journal_base:
+            return 0
+        dropped = upto - self._journal_base
+        del self._journal[:dropped]
+        self._journal_base = upto
+        return dropped
+
     # --------------------------------------------------------------- pruning
     def prune_before(self, pivot_id: str, keep: Optional[Set[str]] = None) -> int:
         """Garbage-collect every message the pivot transitively depends on.
 
+        Returns the number of vertices removed; see :meth:`collect_garbage`
+        for the victim set itself.
+        """
+        return len(self.collect_garbage(pivot_id, keep=keep))
+
+    def collect_garbage(self, pivot_id: str, keep: Optional[Set[str]] = None) -> Set[str]:
+        """Prune like :meth:`prune_before` but return the removed ids.
+
         Called when a ``flush`` message is delivered (§4.3): everything ordered
         before the flush has been resolved at every group that needed it and
         can be forgotten.  ``keep`` protects specific ids (e.g. the group's
-        ``last_delivered``).  Returns the number of vertices removed.
+        ``last_delivered``).  Returning the victim set lets callers update
+        their own indexes in O(victims) instead of diffing two snapshots.
         """
         keep = keep or set()
         victims = self.ancestors_of(pivot_id) - keep - {pivot_id}
         for victim in victims:
             self._remove_vertex(victim)
         self._forgotten.update(victims)
-        return len(victims)
+        return victims
 
     def _remove_vertex(self, msg_id: str) -> None:
         for succ in self.successors.pop(msg_id, set()):
             self.predecessors.get(succ, set()).discard(msg_id)
         for pred in self.predecessors.pop(msg_id, set()):
             self.successors.get(pred, set()).discard(msg_id)
-        self.destinations.pop(msg_id, None)
+        dst = self.destinations.pop(msg_id, None)
+        if dst:
+            for group in dst:
+                members = self._by_group.get(group)
+                if members is not None:
+                    members.discard(msg_id)
+                    if not members:
+                        del self._by_group[group]
         if self.last_delivered == msg_id:
             self.last_delivered = None
 
@@ -222,47 +360,71 @@ class History:
 class HistoryDiffTracker:
     """Tracks which part of the local history each descendant already knows.
 
-    Implements ``diff-hst`` (§4.2 line 11 and §4.3): for each higher group the
-    sender remembers the vertex ids and edges it has shipped; a new delta
-    contains only what is missing.  After garbage collection the shipped sets
-    are pruned too, so they do not grow without bound.
+    Implements ``diff-hst`` (§4.2 line 11 and §4.3) as a *watermark* over the
+    history's change journal: for each descendant the tracker remembers the
+    journal sequence number it has shipped up to; a new delta is the journal
+    slice past that watermark (:meth:`History.changes_since`), so computing a
+    diff costs O(new entries) instead of rescanning every vertex and
+    re-materializing every edge.  After garbage collection the journal is
+    compacted up to the lowest watermark, so it does not grow without bound.
     """
 
     def __init__(self) -> None:
+        #: descendant -> journal sequence number shipped so far.
+        self._watermarks: Dict[GroupId, int] = {}
+        #: descendant -> vertex ids shipped so far (introspection/debugging
+        #: only; the diff computation never consults it).
         self._sent_vertices: Dict[GroupId, Set[str]] = {}
-        self._sent_edges: Dict[GroupId, Set[Tuple[str, str]]] = {}
 
     def diff_for(self, descendant: GroupId, history: History) -> HistoryDelta:
-        """Compute the delta for ``descendant`` and mark it as sent."""
-        sent_v = self._sent_vertices.setdefault(descendant, set())
-        sent_e = self._sent_edges.setdefault(descendant, set())
-
-        new_vertices = tuple(
-            (mid, dst)
-            for mid, dst in history.destinations.items()
-            if mid not in sent_v
-        )
-        new_edges = tuple(
-            edge for edge in history.edges() if edge not in sent_e
-        )
-        sent_v.update(mid for mid, _ in new_vertices)
-        sent_e.update(new_edges)
-        if not new_vertices and not new_edges:
+        """Compute the delta for ``descendant`` and advance its watermark."""
+        watermark = self._watermarks.get(descendant, 0)
+        vertices, edges, version = history.changes_since(watermark)
+        self._watermarks[descendant] = version
+        if not vertices and not edges:
             return EMPTY_DELTA
+        sent_v = self._sent_vertices.setdefault(descendant, set())
+        sent_v.update(mid for mid, _ in vertices)
         return HistoryDelta(
-            vertices=new_vertices,
-            edges=new_edges,
+            vertices=vertices,
+            edges=edges,
             last_delivered=history.last_delivered,
+            seq=version,
         )
 
-    def forget(self, msg_ids: Iterable[str]) -> None:
-        """Drop bookkeeping for garbage-collected messages."""
+    #: Retained journal entries are capped at ``_JOURNAL_SLACK × live size``
+    #: (plus a small constant) at every :meth:`forget`; see below.
+    _JOURNAL_SLACK = 2
+    _JOURNAL_MIN = 64
+
+    def forget(self, msg_ids: Iterable[str], history: Optional[History] = None) -> int:
+        """Drop bookkeeping for garbage-collected messages.
+
+        O(victims): the per-descendant sets shed the victims by difference and
+        the watermarks stay valid as-is (they are absolute sequence numbers).
+        When ``history`` is provided its journal is compacted up to the lowest
+        watermark — entries every descendant has already seen can never appear
+        in a future diff.  A descendant this group has stopped sending to
+        must not pin the journal forever, so compaction additionally enforces
+        a cap proportional to the *live* history size; a descendant whose
+        watermark falls below the compacted base simply receives a full live
+        snapshot on its next diff (overshipping is safe: merges are idempotent
+        and forgotten ids are filtered).  Returns the number of journal
+        entries dropped.
+        """
         victims = set(msg_ids)
         for sent_v in self._sent_vertices.values():
             sent_v -= victims
-        for sent_e in self._sent_edges.values():
-            stale = {e for e in sent_e if e[0] in victims or e[1] in victims}
-            sent_e -= stale
+        if history is None:
+            return 0
+        floor = min(self._watermarks.values(), default=history.version)
+        cap = self._JOURNAL_SLACK * (len(history) + history.num_edges) + self._JOURNAL_MIN
+        floor = max(floor, history.version - cap)
+        return history.compact_journal(floor)
+
+    def watermark(self, descendant: GroupId) -> int:
+        """Journal sequence shipped to ``descendant`` so far (introspection)."""
+        return self._watermarks.get(descendant, 0)
 
     def sent_to(self, descendant: GroupId) -> Set[str]:
         """Vertex ids already shipped to ``descendant`` (introspection)."""

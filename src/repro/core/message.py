@@ -130,11 +130,17 @@ class HistoryDelta:
     only the vertices and dependency edges the destination has not been sent
     yet (§4.3).  A delta is an immutable snapshot taken at send time, so the
     sender can keep mutating its own history safely.
+
+    ``seq`` is the sender-side journal version this delta brings the receiver
+    up to (the watermark contract in DESIGN.md).  It is observability
+    metadata: receivers merge deltas purely by content, and the size model
+    counts it as part of the envelope header, not the delta payload.
     """
 
     vertices: Tuple[Tuple[str, FrozenSet[GroupId]], ...] = ()
     edges: Tuple[Tuple[str, str], ...] = ()
     last_delivered: Optional[str] = None
+    seq: Optional[int] = None
 
     @property
     def is_empty(self) -> bool:

@@ -55,6 +55,7 @@ def _delta_to_dict(delta: msg.HistoryDelta) -> Dict[str, Any]:
         "vertices": [[mid, sorted(dst)] for mid, dst in delta.vertices],
         "edges": [list(edge) for edge in delta.edges],
         "last_delivered": delta.last_delivered,
+        "seq": delta.seq,
     }
 
 
@@ -63,6 +64,7 @@ def _delta_from_dict(d: Dict[str, Any]) -> msg.HistoryDelta:
         vertices=tuple((mid, frozenset(dst)) for mid, dst in d.get("vertices", [])),
         edges=tuple((a, b) for a, b in d.get("edges", [])),
         last_delivered=d.get("last_delivered"),
+        seq=d.get("seq"),
     )
 
 

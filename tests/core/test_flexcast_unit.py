@@ -207,6 +207,78 @@ class TestNotifLogic:
         assert sink.sequence(C) == ["m3"]
 
 
+class TestIncrementalDeliveryState:
+    """The incrementally maintained open-dependency set and dirty queues."""
+
+    def test_open_dependencies_tracks_merged_undelivered_messages(self, overlay):
+        group, transport, sink = make_group(C, overlay)
+        m3 = msg("m3", {A, C})
+        # A's history says m1 (lca B, addressed to C) was ordered before m3.
+        notif_history = delta([("m1", {B, C}), ("m3", {A, C})], edges=[("m1", "m3")])
+        group.on_envelope(
+            A, FlexCastMsg(message=m3, history=notif_history)
+        )
+        # m3 is blocked: its history says m1 (addressed to C) precedes it.
+        assert sink.sequence(C) == []
+        assert group.open_dependencies() == {"m1", "m3"}
+        group.on_envelope(B, FlexCastMsg(message=msg("m1", {B, C}), history=EMPTY_DELTA))
+        assert sink.sequence(C) == ["m1", "m3"]
+        assert group.open_dependencies() == set()
+
+    def test_open_dependencies_ignores_other_groups_messages(self, overlay):
+        group, transport, sink = make_group(B, overlay)
+        group.on_envelope(
+            A,
+            FlexCastNotif(
+                message=msg("m3", {A, C}),
+                history=delta([("m3", {A, C}), ("mC", {C})]),
+                from_group=A,
+            ),
+        )
+        assert group.open_dependencies() == set()
+
+    def test_delivery_clears_queue_dirty_state(self, overlay):
+        group, transport, sink = make_group(C, overlay)
+        group.on_envelope(A, FlexCastMsg(message=msg("m1", {A, C}), history=EMPTY_DELTA))
+        assert sink.sequence(C) == ["m1"]
+        # Nothing left to examine: the dirty set must drain with the queues.
+        assert group._dirty_queues == set()
+        assert all(len(q) == 0 for q in group.queues.values())
+
+    def test_blocked_head_stays_queued_until_ack(self, overlay):
+        group, transport, sink = make_group(C, overlay)
+        m = msg("m1", {A, B, C})
+        group.on_envelope(A, FlexCastMsg(message=m, history=EMPTY_DELTA))
+        assert group.queue_sizes()[A] == 1
+        # Unrelated acks must not deliver the blocked head.
+        other = msg("m9", {A, B, C})
+        group.on_envelope(B, FlexCastAck(message=other, history=EMPTY_DELTA, from_group=B))
+        assert sink.sequence(C) == []
+        group.on_envelope(B, FlexCastAck(message=m, history=EMPTY_DELTA, from_group=B))
+        assert sink.sequence(C) == ["m1"]
+        assert group.queue_sizes()[A] == 0
+
+    def test_gc_keeps_open_dependency_set_consistent(self, overlay):
+        group, transport, sink = make_group(C, overlay)
+        # C learns (via an ancestor's history) about m1 before receiving it.
+        flush = msg("f1", {A, C}, is_flush=True)
+        group.on_envelope(
+            A,
+            FlexCastMsg(
+                message=flush,
+                history=delta([("m1", {B, C}), ("f1", {A, C})], edges=[("m1", "f1")]),
+            ),
+        )
+        assert sink.sequence(C) == []  # flush blocked behind m1
+        assert group.open_dependencies() == {"m1", "f1"}
+        group.on_envelope(B, FlexCastMsg(message=msg("m1", {B, C}), history=EMPTY_DELTA))
+        assert sink.sequence(C) == ["m1", "f1"]
+        # The flush garbage-collected m1; every index must agree.
+        assert group.stats["gc_pruned"] > 0
+        assert group.open_dependencies() == set()
+        assert "m1" not in group.history
+
+
 class TestStats:
     def test_stats_track_messages(self, overlay):
         group, transport, sink = make_group(B, overlay)

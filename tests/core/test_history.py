@@ -195,3 +195,141 @@ class TestDiffTracker:
         tracker.diff_for(7, h)
         tracker.forget(["m1"])
         assert tracker.sent_to(7) == set()
+
+
+class TestJournal:
+    """The change journal / watermark contract (DESIGN.md)."""
+
+    def test_version_counts_every_new_vertex_and_edge(self):
+        h = History()
+        assert h.version == 0
+        h.record_delivery(msg("m1", {1}))
+        assert h.version == 1  # vertex only, no predecessor edge
+        h.record_delivery(msg("m2", {1}))
+        assert h.version == 3  # vertex + edge
+
+    def test_duplicate_insertions_do_not_grow_the_journal(self):
+        h = History()
+        h.record_delivery(msg("m1", {1}))
+        h.record_delivery(msg("m2", {1}))
+        before = h.version
+        h.add_vertex("m1", frozenset({1}))
+        h.add_edge("m1", "m2")
+        assert h.version == before
+
+    def test_changes_since_slices_past_the_watermark(self):
+        h = History()
+        h.record_delivery(msg("m1", {1}))
+        watermark = h.version
+        h.record_delivery(msg("m2", {1}))
+        vertices, edges, version = h.changes_since(watermark)
+        assert [mid for mid, _ in vertices] == ["m2"]
+        assert edges == (("m1", "m2"),)
+        assert version == h.version
+        assert h.changes_since(version) == ((), (), version)
+
+    def test_compaction_keeps_full_snapshot_for_new_descendants(self):
+        h = History()
+        for i in range(4):
+            h.record_delivery(msg(f"m{i}", {1}))
+        h.compact_journal(h.version)
+        assert h.journal_len == 0
+        vertices, edges, _ = h.changes_since(0)
+        assert {mid for mid, _ in vertices} == {"m0", "m1", "m2", "m3"}
+        assert set(edges) == {("m0", "m1"), ("m1", "m2"), ("m2", "m3")}
+
+
+class TestGcDiffTrackerInteraction:
+    """Regression tests: pruning must never leak into later deltas."""
+
+    def _chain(self, n):
+        h = History()
+        for i in range(n):
+            h.record_delivery(msg(f"m{i}", {1}))
+        return h
+
+    def test_pruned_message_never_reappears_in_a_later_diff(self):
+        # Vertices journaled *after* the descendant's watermark and then
+        # pruned before the next diff must not be shipped.
+        h = self._chain(3)
+        tracker = HistoryDiffTracker()
+        tracker.diff_for(7, h)  # descendant knows m0..m2
+        for i in range(3, 6):
+            h.record_delivery(msg(f"m{i}", {1}))
+        victims = h.collect_garbage("m5", keep={h.last_delivered})
+        assert victims == {"m0", "m1", "m2", "m3", "m4"}
+        tracker.forget(victims, history=h)
+        delta = tracker.diff_for(7, h)
+        shipped = {v[0] for v in delta.vertices}
+        assert not (shipped & victims)
+        assert all(a not in victims and b not in victims for a, b in delta.edges)
+
+    def test_forget_leaves_watermarks_consistent(self):
+        h = self._chain(4)
+        tracker = HistoryDiffTracker()
+        tracker.diff_for(7, h)
+        watermark = tracker.watermark(7)
+        victims = h.collect_garbage("m3", keep={h.last_delivered})
+        tracker.forget(victims, history=h)
+        # Watermarks are absolute sequence numbers: compaction must not move
+        # them, and a subsequent diff ships exactly the new content.
+        assert tracker.watermark(7) == watermark
+        h.record_delivery(msg("m4", {1}))
+        delta = tracker.diff_for(7, h)
+        assert {v[0] for v in delta.vertices} == {"m4"}
+        assert delta.edges == (("m3", "m4"),)
+
+    def test_forget_compacts_the_journal_up_to_the_lowest_watermark(self):
+        h = self._chain(5)
+        tracker = HistoryDiffTracker()
+        tracker.diff_for(7, h)
+        assert h.journal_len == 9  # 5 vertices + 4 edges
+        victims = h.collect_garbage("m4", keep=set())
+        dropped = tracker.forget(victims, history=h)
+        assert dropped == 9
+        assert h.journal_len == 0 and h.journal_base == 9
+
+    def test_lagging_descendant_blocks_compaction(self):
+        h = self._chain(3)
+        tracker = HistoryDiffTracker()
+        tracker.diff_for(7, h)
+        lag_watermark = 1
+        tracker._watermarks[8] = lag_watermark  # descendant 8 saw only m0
+        victims = h.collect_garbage("m2", keep=set())
+        tracker.forget(victims, history=h)
+        assert h.journal_base == lag_watermark
+        # Descendant 8 still receives everything live it has not seen.
+        delta = tracker.diff_for(8, h)
+        assert {v[0] for v in delta.vertices} == {"m2"}
+
+    def test_stale_descendant_cannot_pin_the_journal_forever(self):
+        # A descendant this group stopped sending to must not make the
+        # journal grow without bound: compaction is capped relative to the
+        # live history size and the stale descendant falls back to a full
+        # live snapshot on its next diff.
+        h = History()
+        tracker = HistoryDiffTracker()
+        h.record_delivery(msg("m0", {1}))
+        tracker.diff_for(9, h)  # descendant 9 never contacted again
+        stale_watermark = tracker.watermark(9)
+        for i in range(1, 400):
+            h.record_delivery(msg(f"m{i}", {1}))
+        victims = h.collect_garbage(h.last_delivered, keep={h.last_delivered})
+        tracker.forget(victims, history=h)
+        live = len(h) + h.num_edges
+        assert h.journal_len <= HistoryDiffTracker._JOURNAL_SLACK * live + HistoryDiffTracker._JOURNAL_MIN
+        assert h.journal_base > stale_watermark
+        # The lapsed descendant still converges: full live snapshot once.
+        delta = tracker.diff_for(9, h)
+        assert {v[0] for v in delta.vertices} == set(h.message_ids())
+        assert tracker.diff_for(9, h).is_empty
+
+    def test_new_descendant_after_gc_gets_only_live_history(self):
+        h = self._chain(4)
+        tracker = HistoryDiffTracker()
+        tracker.diff_for(7, h)
+        victims = h.collect_garbage("m3", keep=set())
+        tracker.forget(victims, history=h)
+        delta = tracker.diff_for(8, h)  # brand-new descendant
+        assert {v[0] for v in delta.vertices} == {"m3"}
+        assert delta.edges == ()
