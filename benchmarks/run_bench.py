@@ -19,8 +19,10 @@ the report; CI wires both together (.github/workflows/ci.yml).
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
 import os
+import platform
 import subprocess
 import sys
 import time
@@ -35,6 +37,9 @@ from repro.core.history import History, HistoryDiffTracker  # noqa: E402
 from repro.core.message import Message  # noqa: E402
 from repro.overlay.cdag import CDagOverlay  # noqa: E402
 from repro.protocols.base import RecordingSink  # noqa: E402
+from repro.reconfig.monitor import WorkloadMonitor  # noqa: E402
+from repro.reconfig.planner import Planner  # noqa: E402
+from repro.sim.latencies import aws_latency_matrix  # noqa: E402
 from repro.sim.transport import RecordingTransport  # noqa: E402
 
 DEFAULT_SIZES = (200, 1000, 5000)
@@ -141,13 +146,91 @@ def bench_delivery_round(size: int) -> Callable[[], None]:
     return op
 
 
+def bench_reconfig_plan(size: int) -> Callable[[], None]:
+    """One coordinator re-planning pass with ``size`` observations in the
+    window (12-region AWS geometry, Asia-shifted workload)."""
+    monitor = WorkloadMonitor(window_ms=1e12)
+    asia = (8, 9, 10, 11)
+    for i in range(size):
+        home = asia[i % 4]
+        partner = asia[(i + 1) % 4] if i % 5 else (i % 8)
+        monitor.observe(home, {home, partner}, at=float(i))
+    snapshot = monitor.snapshot()
+    planner = Planner(aws_latency_matrix(), min_samples=1)
+    current = list(range(12))
+
+    def op() -> None:
+        assert planner.plan(current, snapshot) is not None
+
+    return op
+
+
 BENCHMARKS: Dict[str, Callable[[int], Callable[[], None]]] = {
     "depends": bench_depends,
     "diff_for": bench_diff_for,
     "diff_for_cold": bench_diff_for_cold,
     "merge_delta": bench_merge_delta,
     "delivery_round": bench_delivery_round,
+    "reconfig_plan": bench_reconfig_plan,
 }
+
+
+def provenance() -> Dict[str, object]:
+    """Environment metadata making BENCH_micro.json comparable across PRs."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        sha = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "git_sha": sha,
+        "timestamp_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+    }
+
+
+def compare_against_baseline(
+    report: Dict[str, object],
+    baseline_path: str,
+    gate_benchmarks: List[str],
+    max_slowdown: float,
+) -> List[str]:
+    """Regression gate: fresh numbers vs a committed baseline report.
+
+    Returns a list of human-readable failures (empty when the gate passes).
+    Benchmarks/sizes absent from either report are skipped, so adding a new
+    benchmark never breaks the gate retroactively.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    failures: List[str] = []
+    fresh_benchmarks = report.get("benchmarks", {})
+    base_benchmarks = baseline.get("benchmarks", {})
+    for name in gate_benchmarks:
+        fresh_sizes = fresh_benchmarks.get(name, {})
+        base_sizes = base_benchmarks.get(name, {})
+        for size, base_entry in base_sizes.items():
+            fresh_entry = fresh_sizes.get(size)
+            if fresh_entry is None:
+                continue
+            base_ops = float(base_entry["ops_per_sec"])
+            fresh_ops = float(fresh_entry["ops_per_sec"])
+            if base_ops > 0 and fresh_ops * max_slowdown < base_ops:
+                failures.append(
+                    f"{name} |H|={size}: {fresh_ops:,.0f} op/s is more than "
+                    f"{max_slowdown:.1f}x slower than baseline {base_ops:,.0f} op/s"
+                )
+    return failures
 
 
 def run_tier1() -> Dict[str, object]:
@@ -190,6 +273,25 @@ def main(argv: List[str] | None = None) -> int:
         action="store_true",
         help="run the tier-1 pytest suite first and record its outcome",
     )
+    parser.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        help="regression gate: fail if gated benchmarks are more than "
+        "--max-slowdown slower than this baseline report",
+    )
+    parser.add_argument(
+        "--gate",
+        default="diff_for,delivery_round",
+        help="comma-separated benchmarks the --compare gate checks "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=2.0,
+        help="maximum tolerated slowdown factor for gated benchmarks "
+        "(default: %(default)s)",
+    )
     args = parser.parse_args(argv)
     try:
         sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
@@ -199,9 +301,10 @@ def main(argv: List[str] | None = None) -> int:
         parser.error("--sizes must name at least one history size")
 
     report: Dict[str, object] = {
-        "schema": 1,
+        "schema": 2,
         "unit": "ops_per_sec",
         "sizes": sizes,
+        "provenance": provenance(),
         "benchmarks": {},
     }
 
@@ -228,6 +331,18 @@ def main(argv: List[str] | None = None) -> int:
         json.dump(report, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.output}")
+
+    if args.compare:
+        gate = [name.strip() for name in args.gate.split(",") if name.strip()]
+        failures = compare_against_baseline(
+            report, args.compare, gate, args.max_slowdown
+        )
+        if failures:
+            print(f"REGRESSION GATE FAILED vs {args.compare}:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(f"regression gate ok vs {args.compare} (gate: {', '.join(gate)})")
     return 0
 
 

@@ -1,0 +1,86 @@
+"""Benchmarks for the reconfiguration subsystem.
+
+Two costs matter for epoch-based overlay switching:
+
+* **planning cost** (CPU) — re-running the workload-aware C-DAG construction
+  and evaluating candidates against the observed window must be cheap enough
+  to run periodically on the coordinator (pytest-benchmark measurement);
+* **switch-over cost** (virtual time) — the live switch stalls client intake
+  for prepare + barrier + quiesce + switch.  The scenario benchmark runs the
+  canonical workload-shift experiment, records the cost, and asserts it stays
+  within a few WAN round trips — and that the switch actually pays for itself
+  within the run.
+"""
+
+import pytest
+
+from repro.experiments.scenarios import workload_shift_scenario
+from repro.reconfig.experiment import run_workload_shift
+from repro.reconfig.monitor import WorkloadMonitor
+from repro.reconfig.planner import Planner
+from repro.sim.latencies import aws_latency_matrix
+
+
+def shifted_aws_snapshot(samples=500):
+    """An Asia-heavy window observed on the 12-region AWS geometry."""
+    monitor = WorkloadMonitor(window_ms=1e9)
+    asia = (8, 9, 10, 11)
+    for i in range(samples):
+        home = asia[i % 4]
+        partner = asia[(i + 1) % 4] if i % 5 else (i % 8)
+        monitor.observe(home, {home, partner}, at=float(i))
+    return monitor.snapshot()
+
+
+@pytest.mark.benchmark(group="reconfig")
+def test_planner_replan_cost(benchmark):
+    """One full re-planning pass on the 12-region matrix with a busy window."""
+    planner = Planner(aws_latency_matrix(), min_samples=10)
+    snapshot = shifted_aws_snapshot()
+    current = list(range(12))
+
+    result = benchmark(lambda: planner.plan(current, snapshot))
+    assert result is not None  # the shifted window justifies a switch
+
+
+@pytest.mark.benchmark(group="reconfig")
+def test_monitor_observe_cost(benchmark):
+    """Sliding-window upkeep on the delivery path must stay O(1)-ish."""
+    monitor = WorkloadMonitor(window_ms=1_000.0)
+    counter = {"t": 0.0}
+
+    def observe():
+        counter["t"] += 1.0
+        monitor.observe(0, {0, 5}, at=counter["t"])
+
+    benchmark(observe)
+
+
+class TestSwitchoverScenario:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_workload_shift(workload_shift_scenario(), with_reconfig=True)
+
+    def test_switchover_cost_recorded_and_bounded(self, result):
+        scenario = result.scenario
+        assert result.switched
+        switch = result.switches[0]
+        print(
+            f"\nswitch-over cost: {switch.duration_ms:.0f} ms "
+            f"(prepare {switch.prepared_ms - switch.started_ms:.0f} ms, "
+            f"drain {switch.drained_ms - switch.prepared_ms:.0f} ms, "
+            f"commit {switch.completed_ms - switch.drained_ms:.0f} ms, "
+            f"{switch.quiesce_rounds} quiesce rounds)"
+        )
+        # Prepare + barrier + two stable quiesce rounds + switch: each costs
+        # about one coordinator<->group round trip on the 100 ms WAN.
+        assert switch.duration_ms < 20 * scenario.inter_ms
+
+    def test_switch_pays_for_itself_within_the_run(self, result):
+        scenario = result.scenario
+        stale = run_workload_shift(scenario, with_reconfig=False)
+        window = (scenario.post_eval_ms, scenario.duration_ms)
+        assert result.mean_delivery_latency(*window) < stale.mean_delivery_latency(
+            *window
+        )
+        result.raise_if_unsafe()

@@ -134,9 +134,15 @@ class FlexCastGroup(AtomicMulticastGroup):
         #: Ancestor queues whose head may have become deliverable since the
         #: last :meth:`reprocess_queues` drain (dirty-set scheduling).
         self._dirty_queues: Set[GroupId] = set()
+        #: Overlay-configuration epoch this group is in.  The base protocol
+        #: never changes it; the reconfiguration subsystem (repro.reconfig)
+        #: bumps it during a live overlay switch, and every outbound protocol
+        #: envelope is stamped with it so stale traffic is detectable.
+        self.epoch = 0
         # Statistics (exposed for tests, ablations and Figure 8 style reports).
         self.stats = {
             "msgs_received": 0,
+            "msgs_sent": 0,
             "acks_received": 0,
             "notifs_received": 0,
             "notifs_sent": 0,
@@ -326,12 +332,15 @@ class FlexCastGroup(AtomicMulticastGroup):
                     history=delta,
                     from_group=self.group_id,
                     notified=notified,
+                    epoch=self.epoch,
                 )
                 self.stats["acks_sent"] += 1
             else:
                 envelope = FlexCastMsg(
-                    message=message, history=delta, notified=notified
+                    message=message, history=delta, notified=notified,
+                    epoch=self.epoch,
                 )
+                self.stats["msgs_sent"] += 1
             self.send(dest, envelope)
 
     def send_notifs(self, message: Message) -> None:
@@ -356,7 +365,12 @@ class FlexCastGroup(AtomicMulticastGroup):
             delta = self.diff_tracker.diff_for(dest, self.history)
             self.send(
                 dest,
-                FlexCastNotif(message=message, history=delta, from_group=self.group_id),
+                FlexCastNotif(
+                    message=message,
+                    history=delta,
+                    from_group=self.group_id,
+                    epoch=self.epoch,
+                ),
             )
             entry.notified.add(dest)
             self.stats["notifs_sent"] += 1
@@ -463,6 +477,44 @@ class FlexCastGroup(AtomicMulticastGroup):
             self._dep_cache.pop(victim, None)
         self.stats["gc_pruned"] += len(victims)
         self.stats["journal_compacted"] += compacted
+
+    # -------------------------------------------------------- reconfiguration
+    def is_quiescent(self) -> bool:
+        """True iff this group holds no unfinished protocol work.
+
+        Used by the epoch coordinator's drain detection: every ancestor queue
+        empty, no open dependencies, and no notification waiting on them.
+        (In-flight envelopes on the wire are the coordinator's problem — it
+        cross-checks global sent/received counters.)
+        """
+        return (
+            not self._undelivered_to_me
+            and not self.pending_notifications
+            and all(not q for q in self.queues.values())
+        )
+
+    def install_overlay(self, overlay: CDagOverlay, epoch: int) -> None:
+        """Swap in a new overlay under a new epoch (live reconfiguration).
+
+        Only legal when the group is quiescent — the epoch coordinator drains
+        the old epoch first, so no queued message can reference the old rank
+        order.  The history, its change journal and the per-descendant diff
+        watermarks survive as-is: watermarks are absolute journal sequence
+        numbers, and a group that only now became a descendant falls below
+        ``journal_base`` and simply receives a full live snapshot on first
+        contact (the PR-1 late-joiner path).
+        """
+        if not self.is_quiescent():
+            raise ProtocolError(
+                f"group {self.group_id} asked to switch overlays while not "
+                f"quiescent (open={sorted(self._undelivered_to_me)})"
+            )
+        self.overlay = overlay
+        self.epoch = epoch
+        self.queues = {ancestor: deque() for ancestor in overlay.ancestors(self.group_id)}
+        self._dirty_queues = set()
+        self._dep_cache.clear()
+        self._dep_epoch += 1
 
     # ------------------------------------------------------------- inspection
     def queue_sizes(self) -> Dict[GroupId, int]:

@@ -26,14 +26,26 @@ from .stats import Summary, cdf_points, percentiles
 
 
 class LatencyCollector:
-    """Accumulates completed transactions and answers latency queries."""
+    """Accumulates completed transactions and answers latency queries.
+
+    Observers registered with :meth:`add_observer` see every recorded
+    transaction as it arrives; this is the delivery-path hook the workload
+    monitor (:mod:`repro.reconfig.monitor`) feeds from.
+    """
 
     def __init__(self) -> None:
         self.transactions: List[CompletedTransaction] = []
+        self._observers: List = []
 
     # ------------------------------------------------------------- collection
+    def add_observer(self, observer) -> None:
+        """Register ``observer(txn)`` to be called on every recorded txn."""
+        self._observers.append(observer)
+
     def record(self, txn: CompletedTransaction) -> None:
         self.transactions.append(txn)
+        for observer in self._observers:
+            observer(txn)
 
     def __len__(self) -> int:
         return len(self.transactions)

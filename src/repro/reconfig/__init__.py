@@ -1,0 +1,39 @@
+"""Epoch-based dynamic overlay reconfiguration.
+
+FlexCast's central claim is that a C-DAG tuned to the workload beats generic
+trees — but the paper (and the rest of this repo) builds overlays *offline*
+from a latency matrix and never changes them.  This subsystem closes the loop
+from observation to overlay:
+
+* :class:`~repro.reconfig.monitor.WorkloadMonitor` — sliding-window
+  destination-set and pairwise-traffic statistics, fed from the metrics
+  collector's delivery-path hooks;
+* :class:`~repro.reconfig.planner.Planner` — re-runs the C-DAG construction
+  against the *observed* workload plus latencies and proposes a new overlay
+  when the predicted improvement crosses a threshold;
+* :class:`~repro.reconfig.coordinator.EpochCoordinator` — executes the safe
+  live switch-over: barrier multicast on the old overlay, per-group quiesce,
+  history/journal handoff, resume on the new C-DAG under an incremented epoch
+  (see DESIGN.md, "Epoch-based overlay reconfiguration");
+* :class:`~repro.reconfig.group.ReconfigurableFlexCastGroup` — a FlexCast
+  group that understands the epoch protocol (parking, bouncing, switching).
+
+The subsystem is transport-agnostic: the same coordinator and group logic run
+inside the discrete-event simulator and the asyncio TCP runtime.
+"""
+
+from .coordinator import EpochCoordinator, SwitchRecord
+from .group import ReconfigurableFlexCastGroup, ReconfigurableFlexCastProtocol
+from .monitor import WorkloadMonitor, WorkloadSnapshot
+from .planner import Planner, ReconfigurationPlan
+
+__all__ = [
+    "EpochCoordinator",
+    "SwitchRecord",
+    "ReconfigurableFlexCastGroup",
+    "ReconfigurableFlexCastProtocol",
+    "WorkloadMonitor",
+    "WorkloadSnapshot",
+    "Planner",
+    "ReconfigurationPlan",
+]

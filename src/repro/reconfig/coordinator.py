@@ -1,0 +1,327 @@
+"""Coordinator side of the epoch-based overlay switch.
+
+The coordinator is a distinguished process (like the flush coordinator of
+§4.3) driving the epoch state machine:
+
+``IDLE`` → ``PREPARING`` → ``DRAINING`` → ``SWITCHING`` → ``IDLE``
+
+* **PREPARING** — send :class:`EpochPrepare` to every group; each group closes
+  client intake for the old epoch and acks.
+* **DRAINING** — multicast an **epoch barrier** (a flush message addressed to
+  every group) through the old overlay, then probe groups with
+  :class:`QuiesceQuery` rounds.  The old epoch is *drained* when, in two
+  consecutive rounds, every group (i) reports itself locally quiescent,
+  (ii) has delivered the barrier, and (iii) the global sent/received protocol
+  envelope totals are equal and unchanged — with reliable channels this means
+  no envelope is left on the wire, so no group can receive old-epoch work
+  again.  The barrier doubles as a garbage collection flush, so the history
+  handed over to the new epoch is already compacted.
+* **SWITCHING** — send :class:`EpochSwitch` with the new rank order; groups
+  install it (reusing the journal/watermark machinery for the history
+  handoff), resume intake, and ack.  Once every group acked, the protocol
+  object's overlay is swapped so clients route new messages to the new lca.
+
+The class is transport-agnostic: it only needs a :class:`Transport` (send /
+now / schedule) and works unchanged on the discrete-event simulator and the
+asyncio TCP runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from ..core.message import (
+    ClientRequest,
+    EpochPrepare,
+    EpochPrepareAck,
+    EpochSwitch,
+    EpochSwitchAck,
+    Message,
+    QuiesceQuery,
+    QuiesceReply,
+)
+from ..overlay.base import GroupId
+from ..overlay.cdag import CDagOverlay
+from ..sim.transport import Transport
+from .group import ReconfigurableFlexCastProtocol
+from .monitor import WorkloadMonitor
+from .planner import Planner, ReconfigurationPlan
+
+IDLE = "idle"
+PREPARING = "preparing"
+DRAINING = "draining"
+SWITCHING = "switching"
+
+
+@dataclass
+class SwitchRecord:
+    """Timeline and outcome of one completed (or in-flight) epoch switch."""
+
+    epoch: int
+    old_order: Tuple[GroupId, ...]
+    new_order: Tuple[GroupId, ...]
+    started_ms: float
+    barrier_id: str = ""
+    prepared_ms: Optional[float] = None
+    drained_ms: Optional[float] = None
+    completed_ms: Optional[float] = None
+    quiesce_rounds: int = 0
+    plan: Optional[ReconfigurationPlan] = None
+
+    @property
+    def duration_ms(self) -> Optional[float]:
+        """Total switch-over cost in virtual/wall ms (None while in flight)."""
+        if self.completed_ms is None:
+            return None
+        return self.completed_ms - self.started_ms
+
+
+class EpochCoordinator:
+    """Drives workload-aware overlay reconfiguration for one deployment.
+
+    Parameters
+    ----------
+    node_id:
+        This coordinator's network identity (groups reply to it).
+    transport:
+        Outbound channel + clock + timers (sim or asyncio).
+    protocol:
+        The deployment's protocol object; its overlay is swapped on commit.
+    monitor / planner:
+        Workload observation and re-planning.  Optional: a coordinator without
+        them only supports manually triggered switches
+        (:meth:`trigger_switch`).
+    group_node:
+        Maps a group id to its network node id (identity by default).
+    """
+
+    def __init__(
+        self,
+        node_id: Hashable,
+        transport: Transport,
+        protocol: ReconfigurableFlexCastProtocol,
+        monitor: Optional[WorkloadMonitor] = None,
+        planner: Optional[Planner] = None,
+        group_node: Callable[[GroupId], Hashable] = lambda g: g,
+        check_interval_ms: float = 500.0,
+        quiesce_interval_ms: float = 50.0,
+        max_quiesce_rounds: int = 10_000,
+    ) -> None:
+        self.node_id = node_id
+        self.transport = transport
+        self.protocol = protocol
+        self.monitor = monitor
+        self.planner = planner
+        self._group_node = group_node
+        self.check_interval_ms = float(check_interval_ms)
+        self.quiesce_interval_ms = float(quiesce_interval_ms)
+        self.max_quiesce_rounds = int(max_quiesce_rounds)
+
+        self.state = IDLE
+        self.epoch = 0
+        self.groups: List[GroupId] = list(protocol.groups)
+        self.switches: List[SwitchRecord] = []
+        #: Barrier messages multicast so far: msg_id -> epoch they closed.
+        self.barriers: Dict[str, int] = {}
+        #: The barrier Message objects themselves (trace checking needs them).
+        self.barrier_messages: List[Message] = []
+
+        self._active = False
+        self._timer = None
+        self._current: Optional[SwitchRecord] = None
+        self._pending_barrier: Optional[Message] = None
+        self._pending_acks: Set[GroupId] = set()
+        self._round_id = 0
+        self._round_replies: Dict[GroupId, QuiesceReply] = {}
+        self._previous_round_totals: Optional[Tuple[int, int]] = None
+
+    # ------------------------------------------------------------- life cycle
+    def start(self) -> None:
+        """Begin periodic workload checks (requires monitor and planner)."""
+        if self.monitor is None or self.planner is None:
+            raise ValueError("auto mode needs a monitor and a planner")
+        if self._active:
+            return
+        self._active = True
+        self._timer = self.transport.schedule(self.check_interval_ms, self._tick)
+
+    def stop(self) -> None:
+        """Stop periodic checks.  An in-flight switch still runs to completion
+        (leaving groups mid-quiesce would wedge the deployment)."""
+        self._active = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _tick(self) -> None:
+        if not self._active:
+            return
+        self.maybe_reconfigure()
+        self._timer = self.transport.schedule(self.check_interval_ms, self._tick)
+
+    # ------------------------------------------------------------- planning
+    def maybe_reconfigure(self) -> Optional[ReconfigurationPlan]:
+        """Evaluate the observed workload; kick off a switch if it pays."""
+        if self.state != IDLE or self.monitor is None or self.planner is None:
+            return None
+        snapshot = self.monitor.snapshot(now=self.transport.now())
+        plan = self.planner.plan(self.protocol.overlay.order, snapshot)
+        if plan is not None:
+            self.trigger_switch(plan.order, plan=plan)
+        return plan
+
+    def trigger_switch(
+        self, new_order: Sequence[GroupId], plan: Optional[ReconfigurationPlan] = None
+    ) -> SwitchRecord:
+        """Start switching to ``new_order`` (must be a permutation of groups)."""
+        if self.state != IDLE:
+            raise RuntimeError(f"cannot start a switch while {self.state}")
+        if set(new_order) != set(self.groups):
+            raise ValueError("new order must be a permutation of the group set")
+        new_epoch = self.epoch + 1
+        # The barrier is minted now so the prepare can announce its id: while
+        # quiescing, groups keep intake open for exactly this one flush.
+        barrier = Message.create(
+            destinations=self.groups,
+            sender=self.node_id,
+            payload="epoch-barrier",
+            payload_bytes=8,
+            is_flush=True,
+        )
+        record = SwitchRecord(
+            epoch=new_epoch,
+            old_order=tuple(self.protocol.overlay.order),
+            new_order=tuple(new_order),
+            started_ms=self.transport.now(),
+            barrier_id=barrier.msg_id,
+            plan=plan,
+        )
+        self._pending_barrier = barrier
+        self._current = record
+        self.switches.append(record)
+        self.state = PREPARING
+        self._pending_acks = set(self.groups)
+        for gid in self.groups:
+            self.transport.send(
+                self._group_node(gid),
+                EpochPrepare(
+                    new_epoch=new_epoch,
+                    reply_to=self.node_id,
+                    barrier_id=barrier.msg_id,
+                ),
+            )
+        return record
+
+    # --------------------------------------------------------------- messages
+    def on_message(self, sender: Hashable, payload: object) -> None:
+        """Network handler: prepare/quiesce/switch replies from groups."""
+        if isinstance(payload, EpochPrepareAck):
+            self._on_prepare_ack(payload)
+        elif isinstance(payload, QuiesceReply):
+            self._on_quiesce_reply(payload)
+        elif isinstance(payload, EpochSwitchAck):
+            self._on_switch_ack(payload)
+        # ClientResponses for the barrier (and anything else) are ignored.
+
+    def _on_prepare_ack(self, ack: EpochPrepareAck) -> None:
+        record = self._current
+        if self.state != PREPARING or record is None or ack.new_epoch != record.epoch:
+            return
+        self._pending_acks.discard(ack.group)
+        if self._pending_acks:
+            return
+        # Every group closed intake: multicast the barrier on the old overlay.
+        record.prepared_ms = self.transport.now()
+        barrier = self._pending_barrier
+        assert barrier is not None and barrier.msg_id == record.barrier_id
+        self._pending_barrier = None
+        self.barriers[barrier.msg_id] = self.epoch
+        self.barrier_messages.append(barrier)
+        self.state = DRAINING
+        self._previous_round_totals = None
+        entry = self.protocol.entry_groups(barrier)[0]
+        self.transport.send(self._group_node(entry), ClientRequest(message=barrier))
+        self._poll_quiesce()
+
+    def _poll_quiesce(self) -> None:
+        record = self._current
+        if self.state != DRAINING or record is None:
+            return
+        if record.quiesce_rounds >= self.max_quiesce_rounds:
+            raise RuntimeError(
+                f"epoch {record.epoch} drain did not converge after "
+                f"{record.quiesce_rounds} quiesce rounds"
+            )
+        self._round_id += 1
+        record.quiesce_rounds += 1
+        self._round_replies = {}
+        for gid in self.groups:
+            self.transport.send(
+                self._group_node(gid),
+                QuiesceQuery(
+                    new_epoch=record.epoch,
+                    round_id=self._round_id,
+                    barrier_id=record.barrier_id,
+                    reply_to=self.node_id,
+                ),
+            )
+
+    def _on_quiesce_reply(self, reply: QuiesceReply) -> None:
+        record = self._current
+        if (
+            self.state != DRAINING
+            or record is None
+            or reply.new_epoch != record.epoch
+            or reply.round_id != self._round_id
+        ):
+            return
+        self._round_replies[reply.group] = reply
+        if len(self._round_replies) < len(self.groups):
+            return
+        replies = self._round_replies.values()
+        all_quiet = all(r.quiescent and r.barrier_delivered for r in replies)
+        totals = (
+            sum(r.envelopes_sent for r in replies),
+            sum(r.envelopes_received for r in replies),
+        )
+        drained = (
+            all_quiet
+            and totals[0] == totals[1]
+            and self._previous_round_totals == totals
+        )
+        self._previous_round_totals = totals if all_quiet else None
+        if drained:
+            self._begin_switch()
+        else:
+            self.transport.schedule(self.quiesce_interval_ms, self._poll_quiesce)
+
+    def _begin_switch(self) -> None:
+        record = self._current
+        assert record is not None
+        record.drained_ms = self.transport.now()
+        self.state = SWITCHING
+        self._pending_acks = set(self.groups)
+        for gid in self.groups:
+            self.transport.send(
+                self._group_node(gid),
+                EpochSwitch(
+                    new_epoch=record.epoch,
+                    order=record.new_order,
+                    reply_to=self.node_id,
+                ),
+            )
+
+    def _on_switch_ack(self, ack: EpochSwitchAck) -> None:
+        record = self._current
+        if self.state != SWITCHING or record is None or ack.epoch != record.epoch:
+            return
+        self._pending_acks.discard(ack.group)
+        if self._pending_acks:
+            return
+        # Commit: clients now route through the new overlay.
+        self.protocol.install_overlay(CDagOverlay(list(record.new_order)))
+        self.epoch = record.epoch
+        record.completed_ms = self.transport.now()
+        self._current = None
+        self.state = IDLE

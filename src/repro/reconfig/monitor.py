@@ -1,0 +1,138 @@
+"""Sliding-window workload observation for overlay re-planning.
+
+The monitor ingests completed transactions from the metrics pipeline
+(:meth:`repro.metrics.collector.LatencyCollector.add_observer`) and maintains,
+over a sliding window of virtual time:
+
+* ``(home, destination-set)`` multiplicities — the quantity the planner's
+  cost model is evaluated against;
+* pairwise traffic weights — which group pairs actually communicate (drives
+  the traffic-weighted nearest-neighbour candidate order);
+* per-home weights — which groups the clients issuing traffic live at
+  (drives the home-ranked candidate order).
+
+All counters are maintained incrementally on observe/evict, so a snapshot is
+O(distinct keys), not O(window length).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Deque, Dict, FrozenSet, Iterable, Optional, Tuple
+
+from ..overlay.base import GroupId
+
+
+@dataclass(frozen=True)
+class WorkloadSnapshot:
+    """Immutable view of the window the planner evaluates candidates against."""
+
+    #: (home, destination set) -> number of observations in the window.
+    traffic: Tuple[Tuple[Tuple[GroupId, FrozenSet[GroupId]], int], ...]
+    #: Unordered group pair -> number of messages addressed to both.
+    pair_weights: Tuple[Tuple[FrozenSet[GroupId], int], ...]
+    #: Home group -> number of transactions issued from it.
+    home_weights: Tuple[Tuple[GroupId, int], ...]
+    window_ms: float
+    sample_count: int
+
+    def traffic_dict(self) -> Dict[Tuple[GroupId, FrozenSet[GroupId]], int]:
+        return dict(self.traffic)
+
+    def pair_weight_dict(self) -> Dict[FrozenSet[GroupId], float]:
+        return {pair: float(count) for pair, count in self.pair_weights}
+
+    def home_weight_dict(self) -> Dict[GroupId, float]:
+        return {home: float(count) for home, count in self.home_weights}
+
+
+class WorkloadMonitor:
+    """Sliding-window destination-set and pairwise-traffic statistics."""
+
+    def __init__(self, window_ms: float = 5_000.0) -> None:
+        if window_ms <= 0:
+            raise ValueError("window must be positive")
+        self.window_ms = float(window_ms)
+        #: (observed_at, home, dst) in observation order.
+        self._entries: Deque[Tuple[float, GroupId, FrozenSet[GroupId]]] = deque()
+        self._traffic: Dict[Tuple[GroupId, FrozenSet[GroupId]], int] = {}
+        self._pairs: Dict[FrozenSet[GroupId], int] = {}
+        self._homes: Dict[GroupId, int] = {}
+        self.total_observed = 0
+
+    # -------------------------------------------------------------- ingestion
+    def observe(self, home: GroupId, destinations: Iterable[GroupId], at: float) -> None:
+        """Record one multicast: issued from ``home`` to ``destinations`` at
+        virtual time ``at`` (monotonically non-decreasing across calls)."""
+        dst = frozenset(destinations)
+        if not dst:
+            return
+        self.total_observed += 1
+        self._entries.append((at, home, dst))
+        key = (home, dst)
+        self._traffic[key] = self._traffic.get(key, 0) + 1
+        self._homes[home] = self._homes.get(home, 0) + 1
+        for a, b in combinations(sorted(dst), 2):
+            pair = frozenset((a, b))
+            self._pairs[pair] = self._pairs.get(pair, 0) + 1
+        self._evict(at)
+
+    def observe_transaction(self, txn) -> None:
+        """Observer hook for :class:`~repro.metrics.collector.LatencyCollector`.
+
+        Transactions that predate the ``destination_set`` field (or carry an
+        empty one) are skipped rather than guessed at.
+        """
+        dst = getattr(txn, "destination_set", frozenset())
+        if dst:
+            self.observe(txn.home, dst, txn.completed_at)
+
+    def _evict(self, now: float) -> None:
+        horizon = now - self.window_ms
+        entries = self._entries
+        while entries and entries[0][0] < horizon:
+            _, home, dst = entries.popleft()
+            key = (home, dst)
+            remaining = self._traffic[key] - 1
+            if remaining:
+                self._traffic[key] = remaining
+            else:
+                del self._traffic[key]
+            remaining_home = self._homes[home] - 1
+            if remaining_home:
+                self._homes[home] = remaining_home
+            else:
+                del self._homes[home]
+            for a, b in combinations(sorted(dst), 2):
+                pair = frozenset((a, b))
+                remaining_pair = self._pairs[pair] - 1
+                if remaining_pair:
+                    self._pairs[pair] = remaining_pair
+                else:
+                    del self._pairs[pair]
+
+    # --------------------------------------------------------------- querying
+    @property
+    def sample_count(self) -> int:
+        """Observations currently inside the window."""
+        return len(self._entries)
+
+    def snapshot(self, now: Optional[float] = None) -> WorkloadSnapshot:
+        """Freeze the current window (evicting up to ``now`` first)."""
+        if now is not None:
+            self._evict(now)
+        return WorkloadSnapshot(
+            traffic=tuple(self._traffic.items()),
+            pair_weights=tuple(self._pairs.items()),
+            home_weights=tuple(self._homes.items()),
+            window_ms=self.window_ms,
+            sample_count=len(self._entries),
+        )
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._traffic.clear()
+        self._pairs.clear()
+        self._homes.clear()

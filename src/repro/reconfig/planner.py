@@ -1,0 +1,186 @@
+"""Workload-aware C-DAG re-planning.
+
+The planner re-runs the overlay construction of :mod:`repro.overlay.builders`
+— the paper's pure-latency nearest-neighbour chains plus two workload-aware
+variants — against the *observed* workload and keeps the rank order with the
+lowest predicted per-destination delivery latency.
+
+The cost model mirrors how FlexCast actually delivers a multicast on a C-DAG
+(paper §4.1/§4.2): the client submits to the lca (the lowest-ranked
+destination), the lca delivers immediately and forwards to the remaining
+destinations, and a non-lca destination additionally waits for the ack of
+every lower-ranked destination before delivering.  The predicted cost of one
+``(home, dst)`` observation is the mean, over destinations, of
+``delivery_time(g) + latency(g, home)`` — i.e. the per-destination response
+latencies the paper plots in Figures 5/7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..overlay.base import GroupId
+from ..overlay.builders import (
+    home_ranked_order,
+    nearest_neighbour_order,
+    traffic_weighted_order,
+)
+from ..sim.latencies import LatencyMatrix
+from .monitor import WorkloadSnapshot
+
+
+@dataclass(frozen=True)
+class ReconfigurationPlan:
+    """A proposed overlay switch, with its predicted payoff."""
+
+    order: Tuple[GroupId, ...]
+    predicted_cost_ms: float
+    current_cost_ms: float
+    samples: int
+
+    @property
+    def improvement(self) -> float:
+        """Fractional predicted latency reduction (0.25 == 25% faster)."""
+        if self.current_cost_ms <= 0:
+            return 0.0
+        return (self.current_cost_ms - self.predicted_cost_ms) / self.current_cost_ms
+
+
+class Planner:
+    """Evaluates candidate rank orders against the observed workload.
+
+    Parameters
+    ----------
+    latencies:
+        One-way latency matrix the deployment runs on.
+    min_samples:
+        Do not propose anything until the window holds at least this many
+        observations (prevents re-planning on noise).
+    improvement_threshold:
+        Minimum fractional predicted improvement required to propose a switch
+        (a switch has a real cost: the drain stalls clients for roughly one
+        WAN round trip plus the barrier delivery).
+    """
+
+    def __init__(
+        self,
+        latencies: LatencyMatrix,
+        min_samples: int = 20,
+        improvement_threshold: float = 0.10,
+        traffic_alpha: float = 4.0,
+    ) -> None:
+        self.latencies = latencies
+        self.min_samples = int(min_samples)
+        self.improvement_threshold = float(improvement_threshold)
+        self.traffic_alpha = float(traffic_alpha)
+
+    # -------------------------------------------------------------- cost model
+    def predicted_cost(
+        self,
+        order: Sequence[GroupId],
+        workload: Dict[Tuple[GroupId, FrozenSet[GroupId]], int],
+    ) -> float:
+        """Weighted mean predicted per-destination response latency (ms)."""
+        rank = {g: r for r, g in enumerate(order)}
+        lat = self.latencies.latency
+        total = 0.0
+        weight_sum = 0
+        for (home, dst), weight in workload.items():
+            if not all(g in rank for g in dst):
+                continue
+            ranked = sorted(dst, key=rank.__getitem__)
+            lca = ranked[0]
+            submit = lat(home, lca)
+            cost = submit + lat(lca, home)  # the lca delivers on arrival
+            arrivals: List[Tuple[GroupId, float]] = []
+            for g in ranked[1:]:
+                deliver = submit + lat(lca, g)
+                for h, h_deliver in arrivals:
+                    # Strategy (b): g waits for the ack of every lower-ranked
+                    # destination h, which h sends when it delivers.
+                    deliver = max(deliver, h_deliver + lat(h, g))
+                arrivals.append((g, deliver))
+                cost += deliver + lat(g, home)
+            total += weight * (cost / len(dst))
+            weight_sum += weight
+        if weight_sum == 0:
+            return 0.0
+        return total / weight_sum
+
+    # -------------------------------------------------------------- candidates
+    def candidate_orders(self, snapshot: WorkloadSnapshot) -> List[List[GroupId]]:
+        """Workload-aware and pure-latency candidate rank orders."""
+        pair_weights = snapshot.pair_weight_dict()
+        home_weights = snapshot.home_weight_dict()
+        candidates: List[List[GroupId]] = []
+        seen = set()
+
+        def add(order: List[GroupId]) -> None:
+            key = tuple(order)
+            if key not in seen:
+                seen.add(key)
+                candidates.append(order)
+
+        add(home_ranked_order(self.latencies, home_weights))
+        # Traffic-weighted chains seeded at the busiest homes.
+        busiest = sorted(home_weights, key=lambda g: (-home_weights[g], g))[:4]
+        for seed in busiest:
+            add(
+                traffic_weighted_order(
+                    self.latencies, pair_weights, seed, alpha=self.traffic_alpha
+                )
+            )
+        # The paper's pure-latency construction from every seed keeps the
+        # planner honest when the workload carries no locality signal.
+        for seed in range(self.latencies.num_sites):
+            add(nearest_neighbour_order(self.latencies, seed))
+        return candidates
+
+    # ------------------------------------------------------------------- plan
+    def plan(
+        self,
+        current_order: Sequence[GroupId],
+        snapshot: WorkloadSnapshot,
+    ) -> Optional[ReconfigurationPlan]:
+        """Propose a better overlay, or ``None`` if staying put is right.
+
+        A proposal is returned only when the window has enough samples and the
+        best candidate's predicted improvement over the *current* order clears
+        the threshold.
+        """
+        if snapshot.sample_count < self.min_samples:
+            return None
+        workload = snapshot.traffic_dict()
+        if not workload:
+            return None
+        current_cost = self.predicted_cost(current_order, workload)
+        if current_cost <= 0:
+            return None
+        # The deployment may cover only a subset of the matrix's sites; the
+        # candidate builders produce full-site orders, so project each onto
+        # the deployed group set (relative ranks are preserved) and discard
+        # anything that still is not a permutation of it — a plan must never
+        # hand trigger_switch an invalid order.
+        group_set = set(current_order)
+        best_order: Optional[List[GroupId]] = None
+        best_cost = current_cost
+        for candidate in self.candidate_orders(snapshot):
+            order = [g for g in candidate if g in group_set]
+            if set(order) != group_set or order == list(current_order):
+                continue
+            cost = self.predicted_cost(order, workload)
+            if cost < best_cost:
+                best_cost = cost
+                best_order = order
+        if best_order is None:
+            return None
+        plan = ReconfigurationPlan(
+            order=tuple(best_order),
+            predicted_cost_ms=best_cost,
+            current_cost_ms=current_cost,
+            samples=snapshot.sample_count,
+        )
+        if plan.improvement < self.improvement_threshold:
+            return None
+        return plan

@@ -80,6 +80,7 @@ def _encode_envelope(envelope: Any) -> Dict[str, Any]:
             "message": _message_to_dict(envelope.message),
             "history": _delta_to_dict(envelope.history),
             "notified": sorted(envelope.notified),
+            "epoch": envelope.epoch,
         }
     if isinstance(envelope, msg.FlexCastAck):
         return {
@@ -88,12 +89,66 @@ def _encode_envelope(envelope: Any) -> Dict[str, Any]:
             "history": _delta_to_dict(envelope.history),
             "from_group": envelope.from_group,
             "notified": sorted(envelope.notified),
+            "epoch": envelope.epoch,
         }
     if isinstance(envelope, msg.FlexCastNotif):
         return {
             "type": "flexcast-notif",
             "message": _message_to_dict(envelope.message),
             "history": _delta_to_dict(envelope.history),
+            "from_group": envelope.from_group,
+            "epoch": envelope.epoch,
+        }
+    if isinstance(envelope, msg.EpochPrepare):
+        return {
+            "type": "epoch-prepare",
+            "new_epoch": envelope.new_epoch,
+            "reply_to": envelope.reply_to,
+            "barrier_id": envelope.barrier_id,
+        }
+    if isinstance(envelope, msg.EpochPrepareAck):
+        return {
+            "type": "epoch-prepare-ack",
+            "new_epoch": envelope.new_epoch,
+            "group": envelope.group,
+        }
+    if isinstance(envelope, msg.QuiesceQuery):
+        return {
+            "type": "quiesce-query",
+            "new_epoch": envelope.new_epoch,
+            "round_id": envelope.round_id,
+            "barrier_id": envelope.barrier_id,
+            "reply_to": envelope.reply_to,
+        }
+    if isinstance(envelope, msg.QuiesceReply):
+        return {
+            "type": "quiesce-reply",
+            "new_epoch": envelope.new_epoch,
+            "round_id": envelope.round_id,
+            "group": envelope.group,
+            "quiescent": envelope.quiescent,
+            "barrier_delivered": envelope.barrier_delivered,
+            "envelopes_sent": envelope.envelopes_sent,
+            "envelopes_received": envelope.envelopes_received,
+        }
+    if isinstance(envelope, msg.EpochSwitch):
+        return {
+            "type": "epoch-switch",
+            "new_epoch": envelope.new_epoch,
+            "order": list(envelope.order),
+            "reply_to": envelope.reply_to,
+        }
+    if isinstance(envelope, msg.EpochSwitchAck):
+        return {
+            "type": "epoch-switch-ack",
+            "epoch": envelope.epoch,
+            "group": envelope.group,
+        }
+    if isinstance(envelope, msg.EpochBounce):
+        return {
+            "type": "epoch-bounce",
+            "message": _message_to_dict(envelope.message),
+            "epoch": envelope.epoch,
             "from_group": envelope.from_group,
         }
     if isinstance(envelope, msg.SkeenTimestamp):
@@ -125,6 +180,7 @@ def _decode_envelope(data: Dict[str, Any]) -> Any:
             message=_message_from_dict(data["message"]),
             history=_delta_from_dict(data["history"]),
             notified=frozenset(data.get("notified", [])),
+            epoch=data.get("epoch", 0),
         )
     if env_type == "flexcast-ack":
         return msg.FlexCastAck(
@@ -132,11 +188,52 @@ def _decode_envelope(data: Dict[str, Any]) -> Any:
             history=_delta_from_dict(data["history"]),
             from_group=data["from_group"],
             notified=frozenset(data.get("notified", [])),
+            epoch=data.get("epoch", 0),
         )
     if env_type == "flexcast-notif":
         return msg.FlexCastNotif(
             message=_message_from_dict(data["message"]),
             history=_delta_from_dict(data["history"]),
+            from_group=data["from_group"],
+            epoch=data.get("epoch", 0),
+        )
+    if env_type == "epoch-prepare":
+        return msg.EpochPrepare(
+            new_epoch=data["new_epoch"],
+            reply_to=data["reply_to"],
+            barrier_id=data.get("barrier_id", ""),
+        )
+    if env_type == "epoch-prepare-ack":
+        return msg.EpochPrepareAck(new_epoch=data["new_epoch"], group=data["group"])
+    if env_type == "quiesce-query":
+        return msg.QuiesceQuery(
+            new_epoch=data["new_epoch"],
+            round_id=data["round_id"],
+            barrier_id=data["barrier_id"],
+            reply_to=data["reply_to"],
+        )
+    if env_type == "quiesce-reply":
+        return msg.QuiesceReply(
+            new_epoch=data["new_epoch"],
+            round_id=data["round_id"],
+            group=data["group"],
+            quiescent=data["quiescent"],
+            barrier_delivered=data["barrier_delivered"],
+            envelopes_sent=data["envelopes_sent"],
+            envelopes_received=data["envelopes_received"],
+        )
+    if env_type == "epoch-switch":
+        return msg.EpochSwitch(
+            new_epoch=data["new_epoch"],
+            order=tuple(data["order"]),
+            reply_to=data["reply_to"],
+        )
+    if env_type == "epoch-switch-ack":
+        return msg.EpochSwitchAck(epoch=data["epoch"], group=data["group"])
+    if env_type == "epoch-bounce":
+        return msg.EpochBounce(
+            message=_message_from_dict(data["message"]),
+            epoch=data["epoch"],
             from_group=data["from_group"],
         )
     if env_type == "skeen-timestamp":

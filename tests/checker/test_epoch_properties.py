@@ -1,0 +1,71 @@
+"""Unit tests for the epoch-aware checker properties."""
+
+from repro.checker.properties import check_epochs
+
+
+class TestEpochMonotonic:
+    def test_clean_trace_passes(self):
+        report = check_epochs(
+            {
+                0: [("m1", 0), ("b1", 0), ("m2", 1)],
+                1: [("m1", 0), ("b1", 0), ("m2", 1)],
+            },
+            barriers={"b1": 0},
+        )
+        assert report.ok
+
+    def test_epoch_regression_flagged(self):
+        report = check_epochs({0: [("m1", 1), ("m2", 0)]})
+        assert not report.ok
+        assert report.violations[0].property_name == "epoch-monotonic"
+
+
+class TestEpochAgreement:
+    def test_message_straddling_the_boundary_flagged(self):
+        report = check_epochs(
+            {
+                0: [("m1", 0)],
+                1: [("m1", 1)],
+            }
+        )
+        assert not report.ok
+        assert any(
+            v.property_name == "epoch-agreement" for v in report.violations
+        )
+
+
+class TestBarrierBoundary:
+    def test_barrier_delivered_in_wrong_epoch_flagged(self):
+        report = check_epochs({0: [("b1", 1)]}, barriers={"b1": 0})
+        assert not report.ok
+        assert any(
+            v.property_name == "epoch-barrier-boundary" for v in report.violations
+        )
+
+    def test_same_epoch_drain_after_barrier_is_legal(self):
+        # Groups keep draining concurrent old-epoch messages between
+        # delivering the barrier and switching.
+        report = check_epochs(
+            {0: [("b1", 0), ("m1", 0)]},
+            barriers={"b1": 0},
+        )
+        assert report.ok
+
+    def test_earlier_epoch_delivery_after_barrier_flagged(self):
+        report = check_epochs(
+            {0: [("b2", 1), ("m1", 0)]},
+            barriers={"b2": 1},
+        )
+        assert not report.ok
+        assert any(
+            v.property_name == "epoch-barrier-boundary" for v in report.violations
+        )
+
+    def test_multiple_barriers_checked_independently(self):
+        report = check_epochs(
+            {
+                0: [("m1", 0), ("b1", 0), ("m2", 1), ("b2", 1), ("m3", 2)],
+            },
+            barriers={"b1": 0, "b2": 1},
+        )
+        assert report.ok

@@ -1,0 +1,389 @@
+"""Epoch state machine tests: group-level behaviour and a live mid-traffic
+switch on the deterministic simulator, checker-verified across the boundary."""
+
+import pytest
+
+from repro.checker.properties import check_epochs, check_trace
+from repro.core.message import (
+    ClientRequest,
+    EMPTY_DELTA,
+    EpochBounce,
+    EpochPrepare,
+    EpochPrepareAck,
+    EpochSwitch,
+    EpochSwitchAck,
+    FlexCastMsg,
+    HistoryDelta,
+    Message,
+    QuiesceQuery,
+    QuiesceReply,
+)
+from repro.core.flexcast import FlexCastGroup
+from repro.overlay.cdag import CDagOverlay
+from repro.protocols.base import ProtocolError, RecordingSink
+from repro.reconfig.coordinator import EpochCoordinator
+from repro.reconfig.group import (
+    ReconfigurableFlexCastGroup,
+    ReconfigurableFlexCastProtocol,
+)
+from repro.sim.events import EventLoop
+from repro.sim.latencies import clustered_latency_matrix
+from repro.sim.network import Network
+from repro.sim.transport import RecordingTransport, SimTransport
+
+COORD = "coord"
+
+
+def make_group(gid=0, order=(0, 1, 2)):
+    transport = RecordingTransport(gid)
+    sink = RecordingSink()
+    group = ReconfigurableFlexCastGroup(
+        gid, CDagOverlay(list(order)), transport, sink
+    )
+    return group, transport, sink
+
+
+def sent_kinds(transport, dst):
+    return [type(p).__name__ for p in transport.sent_to(dst)]
+
+
+class TestGroupEpochMachine:
+    def test_prepare_acks_and_parks_client_requests(self):
+        group, transport, sink = make_group()
+        group.on_envelope(COORD, EpochPrepare(new_epoch=1, reply_to=COORD))
+        assert group.quiescing
+        acks = [p for p in transport.sent_to(COORD) if isinstance(p, EpochPrepareAck)]
+        assert acks and acks[0].new_epoch == 1
+        group.on_envelope(
+            "client", ClientRequest(message=Message(msg_id="m1", dst=frozenset({0})))
+        )
+        assert sink.sequence(0) == []  # parked, not delivered
+        assert group.stats["requests_parked"] == 1
+
+    def test_announced_barrier_bypasses_parking(self):
+        group, transport, sink = make_group()
+        group.on_envelope(
+            COORD, EpochPrepare(new_epoch=1, reply_to=COORD, barrier_id="b1")
+        )
+        barrier = Message(msg_id="b1", dst=frozenset({0, 1, 2}), is_flush=True)
+        group.on_envelope(COORD, ClientRequest(message=barrier))
+        assert sink.sequence(0) == ["b1"]  # the epoch barrier must drain
+
+    def test_other_flushes_park_while_quiescing(self):
+        """Only the announced barrier passes: a periodic GC flush slipping in
+        after the drain would be delivered under two different epochs."""
+        group, transport, sink = make_group()
+        group.on_envelope(
+            COORD, EpochPrepare(new_epoch=1, reply_to=COORD, barrier_id="b1")
+        )
+        gc_flush = Message(msg_id="f1", dst=frozenset({0, 1, 2}), is_flush=True)
+        group.on_envelope("flush-coordinator", ClientRequest(message=gc_flush))
+        assert sink.sequence(0) == []
+        assert group.stats["requests_parked"] == 1
+        group.on_envelope(
+            COORD, EpochSwitch(new_epoch=1, order=(0, 1, 2), reply_to=COORD)
+        )
+        assert sink.sequence(0) == ["f1"]  # replayed in the new epoch
+
+    def test_switch_releases_parked_requests(self):
+        group, transport, sink = make_group()
+        group.on_envelope(COORD, EpochPrepare(new_epoch=1, reply_to=COORD))
+        group.on_envelope(
+            "client", ClientRequest(message=Message(msg_id="m1", dst=frozenset({0})))
+        )
+        group.on_envelope(
+            COORD, EpochSwitch(new_epoch=1, order=(0, 1, 2), reply_to=COORD)
+        )
+        assert group.epoch == 1
+        assert not group.quiescing
+        assert sink.sequence(0) == ["m1"]
+        acks = [p for p in transport.sent_to(COORD) if isinstance(p, EpochSwitchAck)]
+        assert acks and acks[-1].epoch == 1
+
+    def test_switch_reroutes_parked_request_to_new_lca(self):
+        group, transport, sink = make_group(gid=0, order=(0, 1, 2))
+        group.on_envelope(COORD, EpochPrepare(new_epoch=1, reply_to=COORD))
+        request = ClientRequest(message=Message(msg_id="m1", dst=frozenset({0, 1})))
+        group.on_envelope("client", request)
+        # Under the new order group 1 outranks group 0: the lca moved.
+        group.on_envelope(
+            COORD, EpochSwitch(new_epoch=1, order=(1, 0, 2), reply_to=COORD)
+        )
+        assert sink.sequence(0) == []
+        forwarded = [p for p in transport.sent_to(1) if isinstance(p, ClientRequest)]
+        assert [f.message.msg_id for f in forwarded] == ["m1"]
+        assert group.stats["requests_rerouted"] == 1
+
+    def test_stale_epoch_envelope_bounced_not_processed(self):
+        group, transport, sink = make_group(gid=2, order=(0, 1, 2))
+        group.on_envelope(COORD, EpochPrepare(new_epoch=1, reply_to=COORD))
+        group.on_envelope(
+            COORD, EpochSwitch(new_epoch=1, order=(0, 1, 2), reply_to=COORD)
+        )
+        stale = FlexCastMsg(
+            message=Message(msg_id="m1", dst=frozenset({0, 2})),
+            history=EMPTY_DELTA,
+            epoch=0,
+        )
+        group.on_envelope(0, stale)
+        assert sink.sequence(2) == []
+        bounces = [p for p in transport.sent_to(0) if isinstance(p, EpochBounce)]
+        assert bounces and bounces[0].message.msg_id == "m1" and bounces[0].epoch == 1
+        assert group.stats["stale_bounced"] == 1
+
+    def test_stale_bounce_counts_envelope_as_received(self):
+        """A bounced envelope left the wire: it must appear in the received
+        counters or every later drain's sent/received equality check would
+        stay unsatisfiable forever."""
+        group, transport, sink = make_group(gid=2, order=(0, 1, 2))
+        group.on_envelope(COORD, EpochPrepare(new_epoch=1, reply_to=COORD))
+        group.on_envelope(
+            COORD, EpochSwitch(new_epoch=1, order=(0, 1, 2), reply_to=COORD)
+        )
+        before = group.stats["msgs_received"]
+        group.on_envelope(
+            0,
+            FlexCastMsg(
+                message=Message(msg_id="m1", dst=frozenset({0, 2})),
+                history=EMPTY_DELTA,
+                epoch=0,
+            ),
+        )
+        assert group.stats["msgs_received"] == before + 1
+
+    def test_resubmission_of_gc_forgotten_message_is_dropped(self):
+        """The idempotence guard must survive the barrier's GC, which prunes
+        ``delivered_in_g``: a bounced/re-routed message that was delivered
+        and then garbage-collected must not be delivered again."""
+        group, transport, sink = make_group(gid=0, order=(0, 1, 2))
+        message = Message(msg_id="m1", dst=frozenset({0}))
+        group.on_envelope("client", ClientRequest(message=message))
+        barrier = Message(msg_id="b1", dst=frozenset({0, 1, 2}), is_flush=True)
+        group.on_envelope(COORD, ClientRequest(message=barrier))
+        assert group.history.is_forgotten("m1")  # GC pruned it
+        group.on_envelope(2, EpochBounce(message=message, epoch=0, from_group=2))
+        group.on_envelope("client", ClientRequest(message=message))
+        assert sink.sequence(0) == ["m1", "b1"]  # still exactly once
+
+    def test_switch_skipping_an_epoch_is_refused(self):
+        group, transport, sink = make_group(gid=0, order=(0, 1, 2))
+        group.on_envelope(
+            COORD, EpochSwitch(new_epoch=3, order=(2, 1, 0), reply_to=COORD)
+        )
+        assert group.epoch == 0
+        assert group.overlay.order == [0, 1, 2]
+        acks = [p for p in transport.sent_to(COORD) if isinstance(p, EpochSwitchAck)]
+        assert acks and acks[-1].epoch == 0
+
+    def test_bounce_reroutes_message_at_current_epoch(self):
+        group, transport, sink = make_group(gid=0, order=(0, 1, 2))
+        bounce = EpochBounce(
+            message=Message(msg_id="m1", dst=frozenset({0})), epoch=0, from_group=2
+        )
+        group.on_envelope(2, bounce)
+        assert sink.sequence(0) == ["m1"]
+
+    def test_bounced_message_already_delivered_is_dropped(self):
+        group, transport, sink = make_group(gid=0, order=(0, 1, 2))
+        message = Message(msg_id="m1", dst=frozenset({0}))
+        group.on_envelope("client", ClientRequest(message=message))
+        group.on_envelope(2, EpochBounce(message=message, epoch=0, from_group=2))
+        assert sink.sequence(0) == ["m1"]  # exactly once
+
+    def test_future_epoch_envelope_parked_until_switch(self):
+        group, transport, sink = make_group(gid=2, order=(0, 1, 2))
+        early = FlexCastMsg(
+            message=Message(msg_id="m1", dst=frozenset({0, 2})),
+            history=HistoryDelta(vertices=(("m1", frozenset({0, 2})),)),
+            epoch=1,
+        )
+        group.on_envelope(0, early)
+        assert sink.sequence(2) == []
+        assert group.stats["future_parked"] == 1
+        group.on_envelope(
+            COORD, EpochSwitch(new_epoch=1, order=(0, 1, 2), reply_to=COORD)
+        )
+        assert sink.sequence(2) == ["m1"]
+
+    def test_quiesce_reply_reports_drain_state(self):
+        group, transport, sink = make_group(gid=0, order=(0, 1, 2))
+        barrier = Message(msg_id="b1", dst=frozenset({0, 1, 2}), is_flush=True)
+        group.on_envelope(COORD, ClientRequest(message=barrier))
+        group.on_envelope(
+            COORD,
+            QuiesceQuery(new_epoch=1, round_id=7, barrier_id="b1", reply_to=COORD),
+        )
+        replies = [p for p in transport.sent_to(COORD) if isinstance(p, QuiesceReply)]
+        assert len(replies) == 1
+        reply = replies[0]
+        assert reply.round_id == 7
+        assert reply.quiescent
+        assert reply.barrier_delivered
+        # The barrier was forwarded to both descendants.
+        assert reply.envelopes_sent == 2
+        assert reply.envelopes_received == 0
+
+    def test_install_overlay_requires_quiescence(self):
+        group, transport, sink = make_group(gid=2, order=(0, 1, 2))
+        # An undelivered message addressed to us is an open dependency.
+        group.on_envelope(
+            0,
+            FlexCastMsg(
+                message=Message(msg_id="m2", dst=frozenset({0, 2})),
+                history=HistoryDelta(
+                    vertices=(
+                        ("m1", frozenset({1, 2})),
+                        ("m2", frozenset({0, 2})),
+                    ),
+                    edges=(("m1", "m2"),),
+                ),
+                epoch=0,
+            ),
+        )
+        assert not group.is_quiescent()
+        with pytest.raises(ProtocolError):
+            group.install_overlay(CDagOverlay([2, 1, 0]), epoch=1)
+
+    def test_history_survives_switch_and_ships_to_new_descendant(self):
+        """The journal/watermark handoff: after the switch, a group that only
+        now became a descendant receives the full live history on first diff."""
+        group, transport, sink = make_group(gid=1, order=(0, 1, 2))
+        group.on_envelope(
+            "client", ClientRequest(message=Message(msg_id="m1", dst=frozenset({1})))
+        )
+        group.on_envelope(COORD, EpochPrepare(new_epoch=1, reply_to=COORD))
+        # New order makes former-ancestor 0 a descendant of 1.
+        group.on_envelope(
+            COORD, EpochSwitch(new_epoch=1, order=(1, 0, 2), reply_to=COORD)
+        )
+        delta = group.diff_tracker.diff_for(0, group.history)
+        assert ("m1", frozenset({1})) in delta.vertices
+
+
+def deploy(order, latencies):
+    loop = EventLoop()
+    network = Network(loop, latencies, jitter_ms=0.0, seed=3)
+    protocol = ReconfigurableFlexCastProtocol(CDagOverlay(list(order)))
+    recording = RecordingSink(clock=lambda: loop.now)
+    groups = {}
+    epochs = {gid: [] for gid in protocol.groups}
+
+    def sink(gid, message):
+        recording(gid, message)
+        epochs[gid].append((message.msg_id, groups[gid].epoch))
+
+    for gid in protocol.groups:
+        group = protocol.create_group(gid, SimTransport(network, gid), sink)
+        groups[gid] = group
+        network.register(gid, site=gid, handler=group.on_envelope)
+    return loop, network, protocol, groups, recording, epochs
+
+
+class TestLiveSwitchOnSimulator:
+    def test_mid_traffic_switch_is_safe_and_complete(self):
+        latencies = clustered_latency_matrix((2, 2), intra_ms=5.0, inter_ms=80.0)
+        loop, network, protocol, groups, recording, epochs = deploy(
+            [0, 1, 2, 3], latencies
+        )
+        coordinator = EpochCoordinator(
+            node_id=COORD,
+            transport=SimTransport(network, COORD),
+            protocol=protocol,
+            quiesce_interval_ms=20.0,
+        )
+        network.register(COORD, site=0, handler=coordinator.on_message)
+
+        messages = []
+
+        def submit(mid, dst, at):
+            message = Message(msg_id=mid, dst=frozenset(dst), sender="test")
+            messages.append(message)
+
+            def fire():
+                # Clients route with whatever overlay is committed at submit
+                # time — possibly mid-switch, exercising parking/re-routing.
+                entry = protocol.entry_groups(message)[0]
+                network.send(COORD, entry, ClientRequest(message=message))
+
+            loop.schedule_at(at, fire)
+
+        # A steady stream across the switch window, including multi-group
+        # messages spanning both clusters.
+        for i in range(40):
+            at = 25.0 * i
+            dst = [(i % 4), ((i + 1) % 4)] if i % 3 else [0, 1, 2, 3]
+            submit(f"t{i}", dst, at)
+        loop.schedule_at(300.0, lambda: coordinator.trigger_switch([3, 2, 1, 0]))
+        loop.run_until_idle()
+
+        assert coordinator.epoch == 1
+        assert coordinator.state == "idle"
+        assert protocol.overlay.order == [3, 2, 1, 0]
+        assert all(g.epoch == 1 for g in groups.values())
+
+        switch = coordinator.switches[0]
+        assert switch.completed_ms is not None
+        assert switch.duration_ms > 0
+
+        all_messages = messages + coordinator.barrier_messages
+        check_trace(recording, all_messages, expect_all_delivered=True).raise_if_failed()
+        check_epochs(epochs, coordinator.barriers).raise_if_failed()
+        # Both epochs actually carried traffic.
+        delivered_epochs = {e for seq in epochs.values() for _, e in seq}
+        assert delivered_epochs == {0, 1}
+
+    def test_two_successive_switches(self):
+        latencies = clustered_latency_matrix((2, 2), intra_ms=5.0, inter_ms=40.0)
+        loop, network, protocol, groups, recording, epochs = deploy(
+            [0, 1, 2, 3], latencies
+        )
+        coordinator = EpochCoordinator(
+            node_id=COORD,
+            transport=SimTransport(network, COORD),
+            protocol=protocol,
+            quiesce_interval_ms=10.0,
+        )
+        network.register(COORD, site=0, handler=coordinator.on_message)
+
+        messages = []
+
+        def submit(mid, dst, at):
+            message = Message(msg_id=mid, dst=frozenset(dst), sender="test")
+            messages.append(message)
+            loop.schedule_at(
+                at,
+                lambda: network.send(
+                    COORD,
+                    protocol.entry_groups(message)[0],
+                    ClientRequest(message=message),
+                ),
+            )
+
+        for i in range(30):
+            submit(f"t{i}", [i % 4, (i + 2) % 4], 40.0 * i)
+        loop.schedule_at(200.0, lambda: coordinator.trigger_switch([1, 0, 3, 2]))
+        loop.schedule_at(800.0, lambda: coordinator.trigger_switch([2, 3, 0, 1]))
+        loop.run_until_idle()
+
+        assert coordinator.epoch == 2
+        assert all(g.epoch == 2 for g in groups.values())
+        all_messages = messages + coordinator.barrier_messages
+        check_trace(recording, all_messages, expect_all_delivered=True).raise_if_failed()
+        check_epochs(epochs, coordinator.barriers).raise_if_failed()
+
+    def test_trigger_rejected_while_switch_in_flight(self):
+        latencies = clustered_latency_matrix((2, 2))
+        loop, network, protocol, groups, recording, epochs = deploy(
+            [0, 1, 2, 3], latencies
+        )
+        coordinator = EpochCoordinator(
+            node_id=COORD,
+            transport=SimTransport(network, COORD),
+            protocol=protocol,
+        )
+        network.register(COORD, site=0, handler=coordinator.on_message)
+        coordinator.trigger_switch([3, 2, 1, 0])
+        with pytest.raises(RuntimeError):
+            coordinator.trigger_switch([1, 2, 3, 0])
+        loop.run_until_idle()
+        assert coordinator.epoch == 1

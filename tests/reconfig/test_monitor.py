@@ -1,0 +1,75 @@
+"""Unit tests for the sliding-window workload monitor."""
+
+from repro.metrics.collector import LatencyCollector
+from repro.reconfig.monitor import WorkloadMonitor
+from repro.workload.clients import CompletedTransaction
+
+
+def txn(home, dst, at):
+    return CompletedTransaction(
+        client_id="c",
+        home=home,
+        destinations=len(dst),
+        submitted_at=at - 10.0,
+        completed_at=at,
+        latencies_by_arrival=[10.0],
+        destination_set=frozenset(dst),
+    )
+
+
+class TestWindow:
+    def test_counts_inside_window(self):
+        monitor = WorkloadMonitor(window_ms=1_000.0)
+        monitor.observe(0, {0, 1}, at=100.0)
+        monitor.observe(0, {0, 1}, at=200.0)
+        monitor.observe(2, {2, 3}, at=300.0)
+        snap = monitor.snapshot()
+        assert snap.sample_count == 3
+        assert snap.traffic_dict()[(0, frozenset({0, 1}))] == 2
+        assert snap.pair_weight_dict()[frozenset({0, 1})] == 2.0
+        assert snap.home_weight_dict() == {0: 2.0, 2: 1.0}
+
+    def test_old_entries_evicted(self):
+        monitor = WorkloadMonitor(window_ms=1_000.0)
+        monitor.observe(0, {0, 1}, at=0.0)
+        monitor.observe(1, {1, 2}, at=1_500.0)
+        snap = monitor.snapshot()
+        assert snap.sample_count == 1
+        assert (0, frozenset({0, 1})) not in snap.traffic_dict()
+        assert frozenset({0, 1}) not in snap.pair_weight_dict()
+        assert snap.home_weight_dict() == {1: 1.0}
+
+    def test_snapshot_with_now_evicts_quiet_tail(self):
+        monitor = WorkloadMonitor(window_ms=1_000.0)
+        monitor.observe(0, {0, 1}, at=0.0)
+        assert monitor.snapshot().sample_count == 1
+        # Nothing new arrived but time moved on: the window must empty.
+        assert monitor.snapshot(now=5_000.0).sample_count == 0
+
+    def test_three_destination_message_counts_all_pairs(self):
+        monitor = WorkloadMonitor(window_ms=1_000.0)
+        monitor.observe(0, {0, 1, 2}, at=0.0)
+        pairs = monitor.snapshot().pair_weight_dict()
+        assert set(pairs) == {
+            frozenset({0, 1}),
+            frozenset({0, 2}),
+            frozenset({1, 2}),
+        }
+
+
+class TestCollectorHook:
+    def test_fed_from_latency_collector_observer(self):
+        collector = LatencyCollector()
+        monitor = WorkloadMonitor(window_ms=10_000.0)
+        collector.add_observer(monitor.observe_transaction)
+        collector.record(txn(0, {0, 3}, at=50.0))
+        collector.record(txn(3, {3, 4}, at=60.0))
+        snap = monitor.snapshot()
+        assert snap.sample_count == 2
+        assert snap.home_weight_dict() == {0: 1.0, 3: 1.0}
+
+    def test_legacy_transactions_without_destination_set_are_skipped(self):
+        monitor = WorkloadMonitor()
+        record = txn(0, {}, at=10.0)
+        monitor.observe_transaction(record)
+        assert monitor.snapshot().sample_count == 0

@@ -1,0 +1,102 @@
+"""Unit tests for the workload-aware overlay planner."""
+
+from repro.overlay.builders import home_ranked_order, traffic_weighted_order
+from repro.reconfig.monitor import WorkloadMonitor
+from repro.reconfig.planner import Planner
+from repro.sim.latencies import clustered_latency_matrix
+
+
+def two_clusters():
+    # Sites 0-2 in cluster 0, sites 3-5 in cluster 1, 100 ms apart.
+    return clustered_latency_matrix((3, 3), intra_ms=5.0, inter_ms=100.0)
+
+
+def shifted_snapshot(samples=50):
+    """Traffic homed in cluster 1 pairing with cluster-0 groups."""
+    monitor = WorkloadMonitor(window_ms=1e9)
+    for i in range(samples):
+        monitor.observe(4, {4, i % 2}, at=float(i))
+    return monitor.snapshot()
+
+
+class TestCostModel:
+    def test_home_as_lca_is_cheaper(self):
+        planner = Planner(two_clusters())
+        workload = {(4, frozenset({4, 0})): 1}
+        stale = planner.predicted_cost([0, 1, 2, 3, 4, 5], workload)
+        tuned = planner.predicted_cost([4, 5, 3, 0, 1, 2], workload)
+        # Stale: the client pays a WAN hop to reach its lca before anything
+        # is delivered; tuned: the home delivers immediately.
+        assert tuned < stale * 0.6
+
+    def test_ack_wait_makes_spread_middle_destination_expensive(self):
+        planner = Planner(two_clusters())
+        workload = {(0, frozenset({0, 1, 4})): 1}
+        # Ranking the far group between the two near ones forces the top
+        # destination to wait for the far ack.
+        spread = planner.predicted_cost([0, 4, 1, 2, 3, 5], workload)
+        tight = planner.predicted_cost([0, 1, 4, 2, 3, 5], workload)
+        assert tight <= spread
+
+    def test_empty_workload_costs_zero(self):
+        planner = Planner(two_clusters())
+        assert planner.predicted_cost([0, 1, 2, 3, 4, 5], {}) == 0.0
+
+
+class TestPlanning:
+    def test_proposes_switch_for_shifted_workload(self):
+        planner = Planner(two_clusters(), min_samples=10, improvement_threshold=0.10)
+        plan = planner.plan([0, 1, 2, 3, 4, 5], shifted_snapshot())
+        assert plan is not None
+        # The new order must make the observed home the lca of its own pairs.
+        assert plan.order[0] == 4
+        assert plan.improvement >= 0.3
+
+    def test_no_plan_without_enough_samples(self):
+        planner = Planner(two_clusters(), min_samples=100)
+        assert planner.plan([0, 1, 2, 3, 4, 5], shifted_snapshot(samples=20)) is None
+
+    def test_plan_for_subset_deployment_is_a_permutation_of_it(self):
+        """A deployment covering only part of the latency matrix must still
+        get valid (projected) orders, never a full-site order."""
+        planner = Planner(two_clusters(), min_samples=10)
+        current = [0, 1, 4, 5]  # 4 deployed groups on the 6-site matrix
+        monitor = WorkloadMonitor(window_ms=1e9)
+        for i in range(50):
+            monitor.observe(4, {4, i % 2}, at=float(i))
+        plan = planner.plan(current, monitor.snapshot())
+        assert plan is not None
+        assert set(plan.order) == set(current)
+        assert plan.order[0] == 4
+
+    def test_no_plan_when_current_overlay_already_fits(self):
+        planner = Planner(two_clusters(), min_samples=10)
+        monitor = WorkloadMonitor(window_ms=1e9)
+        for i in range(50):
+            monitor.observe(0, {0, 1 + (i % 2)}, at=float(i))
+        # The current order already ranks home 0 first.
+        assert planner.plan([0, 1, 2, 3, 4, 5], monitor.snapshot()) is None
+
+
+class TestCandidateBuilders:
+    def test_traffic_weighted_order_pulls_hot_pair_adjacent(self):
+        latencies = two_clusters()
+        # Sites 0 and 4 talk constantly; pure latency would keep them apart.
+        weights = {frozenset({0, 4}): 100.0}
+        order = traffic_weighted_order(latencies, weights, seed=0, alpha=50.0)
+        assert abs(order.index(0) - order.index(4)) == 1
+
+    def test_traffic_weighted_order_without_traffic_is_pure_latency(self):
+        from repro.overlay.builders import nearest_neighbour_order
+
+        latencies = two_clusters()
+        assert traffic_weighted_order(latencies, {}, seed=2) == (
+            nearest_neighbour_order(latencies, 2)
+        )
+
+    def test_home_ranked_order_puts_busiest_home_first(self):
+        latencies = two_clusters()
+        order = home_ranked_order(latencies, {4: 10.0, 5: 3.0})
+        assert order[0] == 4
+        assert order[1] == 5
+        assert set(order) == set(range(6))
