@@ -1,5 +1,21 @@
 """Correctness checking of atomic multicast traces."""
 
-from .properties import CheckReport, Violation, check_genuineness, check_trace
+from .properties import (
+    CheckReport,
+    Violation,
+    check_epochs,
+    check_genuineness,
+    check_trace,
+)
+from .replay import check_sequential_replay, conservation_check, witness_order
 
-__all__ = ["CheckReport", "Violation", "check_genuineness", "check_trace"]
+__all__ = [
+    "CheckReport",
+    "Violation",
+    "check_epochs",
+    "check_genuineness",
+    "check_trace",
+    "check_sequential_replay",
+    "conservation_check",
+    "witness_order",
+]

@@ -72,6 +72,10 @@ class PendingMessage:
     enqueued: bool = False
 
 
+#: Upper bound on remembered acked pivots (see ``_notif_pivots``).
+_MAX_PIVOTS = 64
+
+
 @dataclass
 class PendingNotification:
     """A received ``notif`` waiting for local open dependencies to resolve."""
@@ -101,16 +105,25 @@ class FlexCastGroup(AtomicMulticastGroup):
         overlay: CDagOverlay,
         transport: Transport,
         sink: DeliverySink,
+        pivot_guard: bool = True,
     ) -> None:
         super().__init__(group_id, transport, sink)
         self.overlay = overlay
+        #: Enables the pivot-consistency guard (see :meth:`_pivot_guard_allows`).
+        #: ``False`` reverts to the seed's unguarded behaviour — kept only so
+        #: regression schedules can demonstrate the lost-delivery bug they pin.
+        self.pivot_guard = pivot_guard
         self.history = History()
         #: Messages delivered at this group (``deliveredInG``).
         self.delivered_in_g: Set[str] = set()
-        #: One FIFO queue of not-yet-delivered messages per ancestor lca.
+        #: One FIFO queue of not-yet-delivered messages per ancestor lca, plus
+        #: a queue under this group's own id for client-submitted messages
+        #: (the lca usually delivers them in the same event, but the pivot
+        #: guard may briefly defer them behind an in-flight predecessor).
         self.queues: Dict[GroupId, Deque[Message]] = {
             ancestor: deque() for ancestor in overlay.ancestors(group_id)
         }
+        self.queues[group_id] = deque()
         #: Per-message protocol state (acks received, notified groups).
         self.pending: Dict[str, PendingMessage] = {}
         #: Notifications waiting for open dependencies (``pendNotif``).
@@ -134,6 +147,38 @@ class FlexCastGroup(AtomicMulticastGroup):
         #: Ancestor queues whose head may have become deliverable since the
         #: last :meth:`reprocess_queues` drain (dirty-set scheduling).
         self._dirty_queues: Set[GroupId] = set()
+        #: Strategy (c) pivots this group has *acked*: pivot id -> message.
+        #: A notif-ack promises the destinations of the pivot that this
+        #: group's dependency contribution is final, so subsequent local
+        #: deliveries must never create *new* orderings before a pivot (see
+        #: :meth:`_pivot_guard_allows`) — and when one is forced anyway (a
+        #: late-arriving message that already precedes the pivot), the group
+        #: re-acks with its fresh history so the pivot's destinations can
+        #: still order correctly.  Pruned by garbage collection; in
+        #: flush-less deployments the insertion-ordered dict is additionally
+        #: capped at :data:`_MAX_PIVOTS` (oldest promises retire first — a
+        #: pivot only matters until its destinations have delivered it, which
+        #: is long past by the time dozens of newer pivots were acked), so
+        #: the guard's per-delivery ancestor scans stay bounded.
+        self._notif_pivots: Dict[str, Message] = {}
+        #: pivot -> (dep epoch, ancestor set) memo for the guard.
+        self._pivot_anc_cache: Dict[str, tuple] = {}
+        #: Messages allowed through the guard by the escape path below.
+        self._guard_exempt: Set[str] = set()
+        #: Pending escape timer handle (at most one in flight).
+        self._escape_timer = None
+        #: Escape ticks observed without any delivery progress (backstop).
+        self._escape_stalls = 0
+        self._escape_progress_mark = -1
+        #: Grace period before a guard-only block may be escaped.  Two acked
+        #: pivots can impose *mutually* contradictory waits (either delivery
+        #: order creates a new pre-pivot ordering for one of them); such
+        #: stand-offs cannot resolve locally, so after the grace period the
+        #: smallest blocked head (a deterministic, overlay-wide tiebreak) is
+        #: delivered anyway.  Ordinary guard blocks resolve long before the
+        #: timer fires — the blocker delivers or a merged delta shows the
+        #: blocked head its own path to the pivot.
+        self.guard_escape_ms = 500.0
         #: Overlay-configuration epoch this group is in.  The base protocol
         #: never changes it; the reconfiguration subsystem (repro.reconfig)
         #: bumps it during a live overlay switch, and every outbound protocol
@@ -149,6 +194,7 @@ class FlexCastGroup(AtomicMulticastGroup):
             "acks_sent": 0,
             "gc_pruned": 0,
             "journal_compacted": 0,
+            "guard_escapes": 0,
         }
 
     # --------------------------------------------------------------- helpers
@@ -181,6 +227,12 @@ class FlexCastGroup(AtomicMulticastGroup):
         for mid, dst in delta.vertices:
             if me in dst and mid not in self.delivered_in_g and mid in self.history:
                 self._undelivered_to_me.add(mid)
+        # A merge can *relax* a delivery condition, not only tighten it: a
+        # blocked candidate may gain its own path to a pivot (guard
+        # exemption), or a new edge may close a cycle that voids a blocker
+        # (poison tolerance).  Any queue head may therefore have become
+        # deliverable, not only the arriving envelope's own.
+        self._mark_all_queues_dirty()
 
     def _mark_queue_dirty(self, lca: GroupId) -> None:
         if lca in self.queues:
@@ -206,7 +258,7 @@ class FlexCastGroup(AtomicMulticastGroup):
                 f"client sent {message.msg_id} to {self.group_id}, "
                 f"but its lca is {self.lca_of(message)}"
             )
-        self.a_deliver(message)
+        self._enqueue_local(message)
 
     def on_envelope(self, sender: Hashable, envelope: Envelope) -> None:
         """Dispatch protocol envelopes (Algorithm 2)."""
@@ -233,7 +285,7 @@ class FlexCastGroup(AtomicMulticastGroup):
             )
         if self.lca_of(message) == self.group_id:
             # Only clients submit at the lca; other groups never forward here.
-            self.a_deliver(message)
+            self._enqueue_local(message)
             return
         self._merge_history(envelope.history)
         entry = self._pending_for(message)
@@ -252,8 +304,8 @@ class FlexCastGroup(AtomicMulticastGroup):
         entry = self._pending_for(message)
         entry.acks.add(envelope.from_group)
         entry.notified.update(envelope.notified)
-        # Only this message's ack-wait condition can have relaxed (merges
-        # never unblock a head), so only its queue needs re-examination.
+        # _merge_history marked all queues dirty; the ack additionally
+        # relaxes this message's own ack-wait condition.
         self._mark_queue_dirty(self.lca_of(message))
         self.reprocess_queues()
 
@@ -270,7 +322,30 @@ class FlexCastGroup(AtomicMulticastGroup):
                 PendingNotification(message=message, open_deps=open_deps)
             )
         else:
+            # The ack is a *promise*: the pivot's destinations will deliver
+            # relying on this group's dependency contribution being final, so
+            # from here on the group must not let unrelated messages overtake
+            # known predecessors of the pivot (see _pivot_guard_allows).
+            self._register_pivot(message)
             self.send_descendants(message, ack=True)
+        # The merged delta may have relaxed (or tightened) guard decisions.
+        self.reprocess_queues()
+
+    def _enqueue_local(self, message: Message) -> None:
+        """Queue a client-submitted message at its lca and drain.
+
+        The lca almost always delivers the message within this very call (it
+        is the first destination to order it).  The queue only matters when
+        the pivot guard defers it: delivering it *now* would slot it before
+        an in-flight message that this group already knows precedes a notif
+        pivot, retroactively invalidating an ack it has sent.
+        """
+        entry = self._pending_for(message)
+        if not entry.enqueued and message.msg_id not in self.delivered_in_g:
+            self.queues[self.group_id].append(message)
+            entry.enqueued = True
+        self._mark_queue_dirty(self.group_id)
+        self.reprocess_queues()
 
     # ----------------------------------------------------------- core functions
     def open_dependencies(self) -> Set[str]:
@@ -284,20 +359,25 @@ class FlexCastGroup(AtomicMulticastGroup):
 
     def a_deliver(self, message: Message) -> None:
         """Deliver ``message`` and propagate ordering information (``a-deliver``)."""
+        # Promises made before this delivery; acks sent *during* it (parked
+        # notif flushes below) already carry this message in their diff.
+        prior_pivots = (
+            list(self._notif_pivots.items())
+            if self.pivot_guard and self._notif_pivots
+            else []
+        )
         self.history.record_delivery(message)
         self.delivered_in_g.add(message.msg_id)
         self._undelivered_to_me.discard(message.msg_id)
+        self._guard_exempt.discard(message.msg_id)
         self._dep_cache.pop(message.msg_id, None)
         self._dep_epoch += 1
         self.deliver(message)
 
-        if self.lca_of(message) == self.group_id:
-            self.send_descendants(message, ack=False)
-        else:
-            queue = self.queues[self.lca_of(message)]
-            if queue and queue[0].msg_id == message.msg_id:
-                queue.popleft()
-            self.send_descendants(message, ack=True)
+        queue = self.queues.get(self.lca_of(message))
+        if queue and queue[0].msg_id == message.msg_id:
+            queue.popleft()
+        self.send_descendants(message, ack=(self.lca_of(message) != self.group_id))
 
         # Delivering this message may unblock pending notifications.
         still_pending: List[PendingNotification] = []
@@ -306,11 +386,28 @@ class FlexCastGroup(AtomicMulticastGroup):
             if notif.open_deps:
                 still_pending.append(notif)
             else:
+                # Flushing the parked notif sends the promised ack; the pivot
+                # becomes binding for this group's future delivery order.
+                self._register_pivot(notif.message)
                 self.send_descendants(notif.message, ack=True)
         self.pending_notifications = still_pending
 
         if message.is_flush:
             self._garbage_collect(message)
+
+        # Promise maintenance: if the delivered message precedes a pivot this
+        # group has already acked (a late arrival forced the violation — the
+        # guard cannot hold it back forever, the message is addressed here),
+        # re-ack the pivot so its destinations merge the new chain *before*
+        # they deliver the pivot.  Acks are idempotent and diffs incremental,
+        # so a re-ack is cheap and monotone.
+        for pivot_id, pivot_message in prior_pivots:
+            if (
+                pivot_id in self._notif_pivots
+                and pivot_id in self.history
+                and message.msg_id in self._pivot_ancestors(pivot_id)
+            ):
+                self.send_descendants(pivot_message, ack=True)
 
         # Removing this message from the open-dependency set may have
         # unblocked the head of any queue.
@@ -387,18 +484,155 @@ class FlexCastGroup(AtomicMulticastGroup):
         affected queue(s) dirty.
         """
         dirty = self._dirty_queues
+        guard_blocked = False
         while dirty:
             lca = dirty.pop()
             queue = self.queues.get(lca)
             while queue and self.can_deliver(queue[0]):
                 # a_deliver pops the head and re-marks all queues dirty.
                 self.a_deliver(queue[0])
+            if queue and self._guard_only_blocked(queue[0]):
+                guard_blocked = True
+        if guard_blocked and self._escape_timer is None:
+            self._escape_timer = self.transport.schedule(
+                self.guard_escape_ms, self._guard_escape_tick
+            )
+
+    def _guard_only_blocked(self, message: Message) -> bool:
+        """True iff only the pivot guard holds ``message`` back."""
+        return (
+            self.ancestors_to_ack(message) <= self.ancestors_that_acked(message)
+            and self._dependencies_satisfied(message.msg_id)
+            and not self._pivot_guard_allows(message.msg_id)
+        )
+
+    def _guard_escape_tick(self) -> None:
+        """Break a guard stand-off that outlived the grace period.
+
+        A blocked head is escaped only when the wait provably cannot resolve
+        locally: every message it is waiting for is itself a guard-blocked
+        queue head (a mutual stand-off — two acked pivots imposing
+        contradictory waits).  A blocker that is merely waiting for remote
+        acks or queued behind other messages still makes progress, so its
+        dependants keep waiting — except that a *distributed* stand-off
+        (groups blocking each other through the guard) is not locally
+        detectable, so after several ticks with no delivery progress the
+        smallest blocked head is forced through as a backstop.
+        """
+        self._escape_timer = None
+        blocked_heads = {
+            queue[0].msg_id: queue[0]
+            for queue in self.queues.values()
+            if queue and self._guard_only_blocked(queue[0])
+        }
+        if not blocked_heads:
+            self._escape_stalls = 0
+            return
+        if self.delivered_count != self._escape_progress_mark:
+            self._escape_progress_mark = self.delivered_count
+            self._escape_stalls = 0
+        else:
+            self._escape_stalls += 1
+
+        def blockers_of(msg_id):
+            found = set()
+            for pivot in self._notif_pivots:
+                if pivot not in self.history:
+                    continue
+                ancestors = self._pivot_ancestors(pivot)
+                if msg_id in ancestors:
+                    continue
+                found.update(
+                    b
+                    for b in self._undelivered_to_me
+                    if b != msg_id and b in ancestors
+                )
+            return found
+
+        mutual = [
+            msg_id
+            for msg_id in blocked_heads
+            if blockers_of(msg_id) <= set(blocked_heads)
+        ]
+        force = self._escape_stalls >= 4
+        candidates = mutual if mutual else (list(blocked_heads) if force else [])
+        if candidates:
+            # One head per tick, smallest id first: the tiebreak is global,
+            # so groups facing the same free choice break it the same way.
+            self._guard_exempt.add(min(candidates, key=str))
+            self.stats["guard_escapes"] += 1
+            self._escape_stalls = 0
+            self._mark_all_queues_dirty()
+            self.reprocess_queues()
+        elif self._escape_timer is None:
+            self._escape_timer = self.transport.schedule(
+                self.guard_escape_ms, self._guard_escape_tick
+            )
 
     def can_deliver(self, message: Message) -> bool:
         """Delivery condition for non-lca destinations (``can-deliver``)."""
         if not self.ancestors_to_ack(message) <= self.ancestors_that_acked(message):
             return False
-        return self._dependencies_satisfied(message.msg_id)
+        if not self._dependencies_satisfied(message.msg_id):
+            return False
+        return self._pivot_guard_allows(message.msg_id)
+
+    def _pivot_guard_allows(self, msg_id: str) -> bool:
+        """Pivot-consistency guard closing the Strategy (c) ack race.
+
+        A notif-ack for pivot ``P`` tells ``P``'s destinations that this
+        group's dependency contribution to ``P`` is final — they deliver
+        ``P`` relying on it.  But local deliveries keep happening after the
+        ack, and delivering ``X`` before ``Y`` (both pending here) creates
+        the brand-new ordering ``X ≺ Y``; if the history already shows
+        ``Y ≺ … ≺ P`` while ``X`` has no path to ``P``, that new edge
+        transitively slots ``X`` (and everything behind it) *before* ``P``
+        after the promise was made.  Chained across groups, exactly that race
+        builds a global delivery cycle that deadlocks the highest-ranked
+        destination (the ``replicated_inventory`` lost-delivery bug, see
+        DESIGN.md "anatomy of a lost delivery").
+
+        The guard therefore delays ``X`` while some other undelivered local
+        message ``Y`` precedes a known pivot that ``X`` does not precede:
+        ``Y`` must go first (its position before ``P`` is already committed
+        information, so delivering it creates nothing new).
+        """
+        if not self.pivot_guard or not self._notif_pivots:
+            return True
+        if msg_id in self._guard_exempt:
+            return True
+        blocking = self._undelivered_to_me
+        if not blocking or (len(blocking) == 1 and msg_id in blocking):
+            return True
+        history = self.history
+        for pivot in self._notif_pivots:
+            if pivot not in history:
+                continue
+            ancestors = self._pivot_ancestors(pivot)
+            if msg_id in ancestors:
+                continue
+            for blocked in blocking:
+                if blocked != msg_id and blocked in ancestors:
+                    return False
+        return True
+
+    def _register_pivot(self, message: Message) -> None:
+        """Remember an acked pivot, retiring the oldest past the cap."""
+        pivots = self._notif_pivots
+        pivots[message.msg_id] = message
+        while len(pivots) > _MAX_PIVOTS:
+            oldest = next(iter(pivots))
+            del pivots[oldest]
+            self._pivot_anc_cache.pop(oldest, None)
+
+    def _pivot_ancestors(self, pivot: str) -> Set[str]:
+        """Memoized ``history.ancestors_of(pivot)`` keyed on the dep epoch."""
+        cached = self._pivot_anc_cache.get(pivot)
+        if cached is not None and cached[0] == self._dep_epoch:
+            return cached[1]
+        ancestors = self.history.ancestors_of(pivot)
+        self._pivot_anc_cache[pivot] = (self._dep_epoch, ancestors)
+        return ancestors
 
     def _dependencies_satisfied(self, msg_id: str) -> bool:
         """True iff no undelivered message addressed to this group precedes
@@ -425,10 +659,24 @@ class FlexCastGroup(AtomicMulticastGroup):
             if node in seen:
                 continue
             seen.add(node)
-            if node in blocking:
+            if node in blocking and node != msg_id:
                 satisfied = False
                 break
             queue.extend(predecessors.get(node, ()))
+        if not satisfied:
+            # Poison tolerance: a blocking "predecessor" that is *also* a
+            # descendant of the candidate sits in a delivery cycle with it —
+            # a merged delta carried an upstream acyclic-order violation this
+            # group can neither verify nor repair.  Honouring contradictory
+            # constraints would block the queue forever and turn one ordering
+            # violation into an unbounded lost-delivery cascade (the pre-fix
+            # deadlock), so cycle-void blockers are ignored; genuine acyclic
+            # blockers still hold the candidate back.
+            satisfied = all(
+                self.history.depends(later=node, earlier=msg_id)
+                for node in self.history.ancestors_of(msg_id)
+                if node in blocking and node != msg_id
+            )
         self._dep_cache[msg_id] = (epoch, satisfied)
         return satisfied
 
@@ -470,11 +718,14 @@ class FlexCastGroup(AtomicMulticastGroup):
         victims = self.history.collect_garbage(flush.msg_id, keep=keep)
         compacted = self.diff_tracker.forget(victims, history=self.history)
         self._undelivered_to_me -= victims
+        for victim in victims & set(self._notif_pivots):
+            del self._notif_pivots[victim]
         self._dep_epoch += 1
         for victim in victims:
             self.pending.pop(victim, None)
             self.delivered_in_g.discard(victim)
             self._dep_cache.pop(victim, None)
+            self._pivot_anc_cache.pop(victim, None)
         self.stats["gc_pruned"] += len(victims)
         self.stats["journal_compacted"] += compacted
 
@@ -512,8 +763,10 @@ class FlexCastGroup(AtomicMulticastGroup):
         self.overlay = overlay
         self.epoch = epoch
         self.queues = {ancestor: deque() for ancestor in overlay.ancestors(self.group_id)}
+        self.queues[self.group_id] = deque()
         self._dirty_queues = set()
         self._dep_cache.clear()
+        self._pivot_anc_cache.clear()
         self._dep_epoch += 1
 
     # ------------------------------------------------------------- inspection
@@ -532,15 +785,18 @@ class FlexCastProtocol(AtomicMulticastProtocol):
     name = "FlexCast"
     genuine = True
 
-    def __init__(self, overlay: CDagOverlay) -> None:
+    def __init__(self, overlay: CDagOverlay, pivot_guard: bool = True) -> None:
         if not isinstance(overlay, CDagOverlay):
             raise TypeError("FlexCast requires a complete-DAG overlay")
         super().__init__(overlay)
+        self.pivot_guard = pivot_guard
 
     def create_group(
         self, group_id: GroupId, transport: Transport, sink: DeliverySink
     ) -> FlexCastGroup:
-        return FlexCastGroup(group_id, self.overlay, transport, sink)
+        return FlexCastGroup(
+            group_id, self.overlay, transport, sink, pivot_guard=self.pivot_guard
+        )
 
     def entry_groups(self, message: Message) -> List[GroupId]:
         """Clients submit a message to its lca only."""

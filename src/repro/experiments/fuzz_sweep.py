@@ -1,0 +1,15 @@
+"""Experiment-suite entry point for the fuzz sweep.
+
+Thin re-export so the scenario-sweep harness sits next to the other
+experiment runners (``python -m repro.experiments.fuzz_sweep`` behaves
+exactly like ``python -m repro.fuzz.sweep``).
+"""
+
+from ..fuzz.sweep import SweepSummary, main, run_sweep
+
+__all__ = ["SweepSummary", "main", "run_sweep"]
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,8 @@
+"""``python -m repro.fuzz`` — run the scenario-sweep CLI."""
+
+import sys
+
+from .sweep import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,375 @@
+"""Run one fuzz scenario on the deterministic simulator and check it.
+
+The harness deploys the scenario's protocol stack (plain FlexCast groups, the
+epoch-reconfigurable variant when switches are scripted, or a multi-Paxos
+replicated group for crash profiles), drives the explicit submission schedule,
+then runs the *full* oracle suite over the captured trace:
+
+* :func:`repro.checker.check_trace` — integrity, validity/agreement (when the
+  profile keeps liveness), prefix order, acyclic order;
+* :func:`repro.checker.check_sequential_replay` — the generic sequential
+  replay oracle (state-level divergence, the form applications see bugs in);
+* :func:`repro.checker.conservation_check` — exactly-once effect accounting;
+* :func:`repro.checker.check_epochs` — epoch monotonic/agreement/barrier
+  properties when the scenario reconfigures;
+* replica agreement / post-fail-over delivery for crash scenarios.
+
+Every run is a pure function of the scenario, so a failing scenario can be
+shrunk (:mod:`repro.fuzz.shrink`) and committed as a regression schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..checker.properties import check_epochs, check_trace
+from ..checker.replay import check_sequential_replay, conservation_check
+from ..core.flexcast import FlexCastProtocol
+from ..core.message import ClientRequest, Message
+from ..overlay.base import GroupId
+from ..overlay.cdag import CDagOverlay
+from ..protocols.base import RecordingSink
+from ..reconfig.coordinator import EpochCoordinator
+from ..reconfig.group import ReconfigurableFlexCastProtocol
+from ..sim.events import EventLoop
+from ..sim.latencies import LatencyMatrix, aws_latency_matrix
+from ..sim.network import Network
+from ..sim.transport import SimTransport
+from ..smr.replica import ReplicatedGroup
+from .profiles import EnvelopeFaultFilter
+from .scenario import FuzzScenario, Submission
+
+CLIENT = "fuzz-client"
+COORDINATOR = "fuzz-coordinator"
+
+#: Event budget per run; exceeding it is reported as a livelock violation.
+MAX_EVENTS = 3_000_000
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of one scenario run.
+
+    Violations are split into two buckets:
+
+    * :attr:`violations` — breaches of the properties the protocol
+      *guarantees*: integrity, no-loss/no-dup (validity/agreement,
+      conservation), prefix order, epoch safety, liveness (no livelock).
+      The sweep gate fails on any of these.
+    * :attr:`ordering_anomalies` — global acyclic-order violations (and the
+      replay/prefix shadows of the same underlying cycle).  Under extreme
+      cross-group conflict the c-DAG's down-only information flow lets
+      groups commit complementary halves of a delivery cycle no local rule
+      can see in time; the pivot guard makes this rare and poison tolerance
+      keeps it from ever losing messages, but it cannot be excluded — see
+      DESIGN.md "anatomy of a lost delivery".  These are *reported* (and
+      shrinkable) so the limitation stays measured, not hidden.
+    """
+
+    scenario: FuzzScenario
+    violations: List[str] = field(default_factory=list)
+    ordering_anomalies: List[str] = field(default_factory=list)
+    submitted: int = 0
+    delivered: int = 0
+    events: int = 0
+    #: Per-group delivery sequences (msg ids), for diagnosis and tests.
+    sequences: Dict[Hashable, List[str]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """No violation of a guaranteed property."""
+        return not self.violations
+
+    @property
+    def strict_ok(self) -> bool:
+        """No violation of any checked property, ordering anomalies included."""
+        return not self.violations and not self.ordering_anomalies
+
+    def finalize_buckets(self) -> None:
+        """Move cycle-shadow violations into :attr:`ordering_anomalies`.
+
+        When (and only when) a run contains an acyclic-order violation, the
+        replay divergence and any prefix-order disagreement are downstream
+        manifestations of that same cycle (poison-tolerant delivery keeps
+        going through contradictory constraints instead of losing messages).
+        Without a cycle, prefix/replay failures are genuine guarantee
+        breaches and stay in :attr:`violations`.
+        """
+        has_cycle = any("[acyclic-order]" in v for v in self.violations)
+        if not has_cycle:
+            return
+        shadows = ("[acyclic-order]", "[prefix-order]", "[replay]")
+        keep: List[str] = []
+        for violation in self.violations:
+            if any(violation.startswith(s) for s in shadows):
+                self.ordering_anomalies.append(violation)
+            else:
+                keep.append(violation)
+        self.violations = keep
+
+
+def _latency_matrix(scenario: FuzzScenario) -> LatencyMatrix:
+    if scenario.latency == "aws":
+        return aws_latency_matrix()
+    num_sites = max(2, len(scenario.order))
+    base = scenario.uniform_ms
+    matrix = [
+        [0.3 if i == j else base for j in range(num_sites)]
+        for i in range(num_sites)
+    ]
+    return LatencyMatrix(matrix=matrix, names=[f"s{i}" for i in range(num_sites)])
+
+
+def _flush_submissions(scenario: FuzzScenario) -> List[Submission]:
+    if not scenario.gc_interval_ms:
+        return []
+    horizon = max((s.at_ms for s in scenario.submissions), default=0.0)
+    flushes = []
+    t = scenario.gc_interval_ms
+    k = 0
+    while t < horizon + 2 * scenario.gc_interval_ms:
+        flushes.append(
+            Submission(
+                at_ms=round(t, 3),
+                msg_id=f"{scenario.name}-flush{k}",
+                dst=tuple(scenario.order),
+                payload_bytes=8,
+                is_flush=True,
+            )
+        )
+        k += 1
+        t += scenario.gc_interval_ms
+    return flushes
+
+
+def run_scenario(scenario: FuzzScenario, pivot_guard: bool = True) -> FuzzResult:
+    """Execute ``scenario`` deterministically and return the checked result."""
+    if scenario.replication_factor > 1:
+        return _run_replicated(scenario, pivot_guard)
+    return _run_flexcast(scenario, pivot_guard)
+
+
+# ------------------------------------------------------------------ flexcast
+def _run_flexcast(scenario: FuzzScenario, pivot_guard: bool) -> FuzzResult:
+    loop = EventLoop()
+    latencies = _latency_matrix(scenario)
+    network = Network(
+        loop, latencies, jitter_ms=scenario.jitter_ms, seed=scenario.net_seed
+    )
+    overlay = CDagOverlay(list(scenario.order))
+    reconfigurable = bool(scenario.reconfigs)
+    if reconfigurable:
+        protocol = ReconfigurableFlexCastProtocol(overlay, pivot_guard=pivot_guard)
+    else:
+        protocol = FlexCastProtocol(overlay, pivot_guard=pivot_guard)
+
+    sink = RecordingSink(clock=lambda: loop.now)
+    groups: Dict[GroupId, object] = {}
+    delivery_epochs: Dict[GroupId, List[Tuple[str, int]]] = {
+        gid: [] for gid in scenario.order
+    }
+
+    def make_sink(gid):
+        def epoch_sink(group_id, message):
+            sink(group_id, message)
+            delivery_epochs[gid].append((message.msg_id, groups[gid].epoch))
+
+        return epoch_sink
+
+    for gid in scenario.order:
+        group = protocol.create_group(gid, SimTransport(network, gid), make_sink(gid))
+        groups[gid] = group
+        network.register(gid, site=int(gid) % latencies.num_sites, handler=group.on_envelope)
+    network.register(CLIENT, site=0, handler=lambda s, p: None)
+
+    coordinator: Optional[EpochCoordinator] = None
+    if reconfigurable:
+        coordinator = EpochCoordinator(
+            node_id=COORDINATOR,
+            transport=SimTransport(network, COORDINATOR),
+            protocol=protocol,
+        )
+        network.register(COORDINATOR, site=0, handler=coordinator.on_message)
+        for reconfig in scenario.reconfigs:
+            def fire(order=reconfig.order):
+                # Overlapping switches are illegal; skip if one is running.
+                if coordinator.state == "idle":
+                    coordinator.trigger_switch(list(order))
+
+            loop.schedule_at(reconfig.at_ms, fire)
+
+    if scenario.profile == "dup":
+        network.set_drop_filter(
+            EnvelopeFaultFilter(
+                network, scenario.profile_rate, scenario.profile_seed, "dup"
+            )
+        )
+    elif scenario.profile == "loss":
+        network.set_drop_filter(
+            EnvelopeFaultFilter(
+                network, scenario.profile_rate, scenario.profile_seed, "drop"
+            )
+        )
+
+    submissions = list(scenario.submissions) + _flush_submissions(scenario)
+    messages: Dict[str, Message] = {}
+    tiebreak: Dict[str, int] = {}
+    for index, sub in enumerate(submissions):
+        message = Message.create(
+            destinations=sub.dst,
+            sender=CLIENT,
+            payload={"i": index},
+            payload_bytes=sub.payload_bytes,
+            msg_id=sub.msg_id,
+            is_flush=sub.is_flush,
+        )
+        messages[message.msg_id] = message
+        tiebreak[message.msg_id] = index
+
+        def submit(message=message):
+            entry = protocol.entry_groups(message)[0]
+            network.send(CLIENT, entry, ClientRequest(message=message))
+
+        loop.schedule_at(sub.at_ms, submit)
+
+    result = FuzzResult(scenario=scenario, submitted=len(submissions))
+    try:
+        result.events = loop.run_until_idle(max_events=MAX_EVENTS)
+    except RuntimeError as exc:
+        result.violations.append(f"[livelock] {exc}")
+        return result
+
+    if coordinator is not None:
+        for barrier in coordinator.barrier_messages:
+            messages[barrier.msg_id] = barrier
+            tiebreak.setdefault(barrier.msg_id, len(tiebreak))
+
+    sequences = {gid: sink.sequence(gid) for gid in scenario.order}
+    result.sequences = sequences
+    result.delivered = sum(len(s) for s in sequences.values())
+
+    expect_all = scenario.expect_all_delivered
+    report = check_trace(sink, messages.values(), expect_all_delivered=expect_all)
+    result.violations.extend(str(v) for v in report.violations)
+
+    replay = check_sequential_replay(
+        sequences, messages, expect_all_delivered=expect_all, tiebreak=tiebreak
+    )
+    result.violations.extend(str(v) for v in replay.violations)
+
+    if expect_all:
+        conservation = conservation_check(sequences, messages)
+        result.violations.extend(str(v) for v in conservation.violations)
+
+    if coordinator is not None:
+        epoch_report = check_epochs(delivery_epochs, barriers=coordinator.barriers)
+        result.violations.extend(str(v) for v in epoch_report.violations)
+
+    result.finalize_buckets()
+    return result
+
+
+# ---------------------------------------------------------------- replicated
+def _run_replicated(scenario: FuzzScenario, pivot_guard: bool) -> FuzzResult:
+    """Crash-profile runs: one multi-Paxos replicated group, leader crashes."""
+    loop = EventLoop()
+    base = scenario.uniform_ms
+    latencies = LatencyMatrix(
+        matrix=[[0.3, base], [base, 0.3]], names=["group", "clients"]
+    )
+    network = Network(
+        loop, latencies, jitter_ms=scenario.jitter_ms, seed=scenario.net_seed
+    )
+    protocol = FlexCastProtocol(CDagOverlay([0]), pivot_guard=pivot_guard)
+
+    sink = RecordingSink(clock=lambda: loop.now)
+    group = ReplicatedGroup(
+        group_id=0,
+        protocol=protocol,
+        network=network,
+        site=0,
+        sink=sink,
+        replication_factor=scenario.replication_factor,
+    )
+    network.register(CLIENT, site=1, handler=lambda s, p: None)
+
+    # Crashes first: at equal virtual times they precede submissions, so the
+    # "submitted after the crash" expectation below is well defined.
+    crash_times = []
+    for crash in scenario.crashes:
+        def fire(index=crash.replica):
+            if index not in group._crashed_indices and len(
+                group._crashed_indices
+            ) < scenario.replication_factor - 1:
+                group.crash_replica(index, network)
+
+        crash_times.append(crash.at_ms)
+        loop.schedule_at(crash.at_ms, fire)
+
+    messages: Dict[str, Message] = {}
+    for index, sub in enumerate(scenario.submissions):
+        message = Message.create(
+            destinations=(0,),
+            sender=CLIENT,
+            payload={"i": index},
+            payload_bytes=sub.payload_bytes,
+            msg_id=sub.msg_id,
+        )
+        messages[message.msg_id] = message
+
+        def submit(message=message):
+            network.send(CLIENT, group.leader.replica_id, ClientRequest(message=message))
+
+        loop.schedule_at(sub.at_ms, submit)
+
+    result = FuzzResult(scenario=scenario, submitted=len(scenario.submissions))
+    try:
+        result.events = loop.run_until_idle(max_events=MAX_EVENTS)
+    except RuntimeError as exc:
+        result.violations.append(f"[livelock] {exc}")
+        return result
+
+    delivered = sink.sequence(0)
+    result.sequences = {0: delivered}
+    result.delivered = len(delivered)
+
+    # Safety: exactly-once, only-submitted.
+    seen = set()
+    for msg_id in delivered:
+        if msg_id in seen:
+            result.violations.append(f"[smr-integrity] {msg_id} delivered twice")
+        seen.add(msg_id)
+        if msg_id not in messages:
+            result.violations.append(
+                f"[smr-integrity] {msg_id} delivered but never submitted"
+            )
+
+    # Agreement: surviving replicas applied identical client-request logs.
+    logs = group.delivered_sequences()
+    survivor_logs = [
+        logs[replica.replica_id]
+        for index, replica in enumerate(group.replicas)
+        if index not in group._crashed_indices
+    ]
+    for log in survivor_logs[1:]:
+        if log != survivor_logs[0]:
+            result.violations.append(
+                "[smr-agreement] surviving replicas applied different sequences"
+            )
+            break
+
+    # Liveness across fail-over: everything submitted strictly after the last
+    # crash reached the application (earlier in-flight requests may be lost
+    # with the crashing leader — there is no client retry layer).
+    last_crash = max(crash_times, default=-1.0)
+    expected_after = {
+        sub.msg_id for sub in scenario.submissions if sub.at_ms > last_crash
+    }
+    missing = expected_after - set(delivered)
+    if missing:
+        result.violations.append(
+            f"[smr-failover] {len(missing)} post-crash submissions never "
+            f"delivered: {sorted(missing)[:5]}"
+        )
+    return result

@@ -1,0 +1,136 @@
+"""Deterministic fault profiles.
+
+A profile decorates a base workload scenario with fault injection and sets
+the matching oracle expectations:
+
+* ``none`` — schedule/jitter exploration only (baseline);
+* ``dup`` — a seeded fraction of FlexCast protocol envelopes is duplicated
+  through ``Network.set_drop_filter`` (idempotence must absorb them; full
+  delivery is still expected);
+* ``loss`` — a seeded fraction of protocol envelopes is dropped.  FlexCast
+  assumes reliable channels, so liveness is forfeit by design; the oracle
+  switches to safety-only mode (everything that *was* delivered must still
+  satisfy integrity/prefix/acyclic order and replay consistency);
+* ``crash`` — the run uses a multi-Paxos replicated group
+  (:class:`repro.smr.replica.ReplicatedGroup`) and crashes the current
+  leader replica mid-run; surviving replicas must agree and post-fail-over
+  submissions must be delivered;
+* ``reconfig`` — one or two scripted overlay switches (random permutations)
+  run mid-traffic through the epoch coordinator; the whole multi-epoch trace
+  must satisfy the regular properties plus ``check_epochs``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Any, Callable
+
+from ..core.message import FlexCastAck, FlexCastMsg, FlexCastNotif
+from .scenario import Crash, FuzzScenario, Reconfig
+
+PROFILES = ("none", "dup", "loss", "crash", "reconfig")
+
+_PROTOCOL_ENVELOPES = (FlexCastMsg, FlexCastAck, FlexCastNotif)
+
+
+def apply_profile(scenario: FuzzScenario, profile: str) -> FuzzScenario:
+    """Attach ``profile`` to a base workload scenario (deterministic)."""
+    rng = random.Random(scenario.profile_seed)
+    horizon = max((s.at_ms for s in scenario.submissions), default=1_000.0)
+    if profile == "none":
+        return replace(scenario, profile="none")
+    if profile == "dup":
+        return replace(
+            scenario, profile="dup", profile_rate=rng.choice([0.05, 0.15, 0.4])
+        )
+    if profile == "loss":
+        return replace(
+            scenario,
+            profile="loss",
+            profile_rate=rng.choice([0.01, 0.05, 0.15]),
+            expect_all_delivered=False,
+            # Loss keeps histories permanently incomplete; periodic flushes
+            # would just stall too, so drop them for clarity.
+            gc_interval_ms=None,
+        )
+    if profile == "crash":
+        # SMR mode: a single replicated group absorbing the whole submission
+        # stream, with the initial leader crashed mid-run.
+        submissions = tuple(
+            replace(s, dst=(0,)) for s in scenario.submissions
+        )
+        crash_at = round(rng.uniform(horizon * 0.2, horizon * 0.7), 3)
+        return replace(
+            scenario,
+            profile="crash",
+            order=(0,),
+            submissions=submissions,
+            replication_factor=3,
+            crashes=(Crash(at_ms=crash_at, replica=0),),
+            # In-flight requests addressed to the crashing leader are lost
+            # (no client retry layer); the oracle instead asserts that every
+            # post-crash submission is delivered and survivors agree.
+            expect_all_delivered=False,
+            gc_interval_ms=None,
+            jitter_ms=min(scenario.jitter_ms, 1.0),
+        )
+    if profile == "reconfig":
+        num_switches = rng.randint(1, 2)
+        reconfigs = []
+        for i in range(1, num_switches + 1):
+            at = round(horizon * i / (num_switches + 1.0), 3)
+            order = list(scenario.order)
+            rng.shuffle(order)
+            reconfigs.append(Reconfig(at_ms=at, order=tuple(order)))
+        return replace(scenario, profile="reconfig", reconfigs=tuple(reconfigs))
+    raise ValueError(f"unknown fault profile {profile!r}")
+
+
+class EnvelopeFaultFilter:
+    """Seeded drop/duplicate filter for protocol envelopes.
+
+    Installed via ``Network.set_drop_filter``.  Duplication re-sends the same
+    payload once; a re-entrancy flag lets the nested send pass through
+    untouched.  All decisions come from one seeded RNG stream and nothing
+    depends on object identity, so two runs of the same scenario inject the
+    exact same fault schedule (the replay/shrink contract).
+    """
+
+    def __init__(
+        self,
+        network,
+        rate: float,
+        seed: int,
+        mode: str,
+        predicate: Callable[[Any], bool] = lambda p: isinstance(
+            p, _PROTOCOL_ENVELOPES
+        ),
+    ) -> None:
+        if mode not in ("drop", "dup"):
+            raise ValueError(f"unknown fault mode {mode!r}")
+        self._network = network
+        self._rate = float(rate)
+        self._rng = random.Random(seed)
+        self._mode = mode
+        self._predicate = predicate
+        self._resending = False
+        self.dropped = 0
+        self.duplicated = 0
+
+    def __call__(self, src, dst, payload) -> bool:
+        if self._resending or not self._predicate(payload):
+            return False
+        if self._mode == "drop":
+            if self._rng.random() < self._rate:
+                self.dropped += 1
+                return True
+            return False
+        if self._rng.random() < self._rate:
+            self.duplicated += 1
+            self._resending = True
+            try:
+                self._network.send(src, dst, payload)
+            finally:
+                self._resending = False
+        return False

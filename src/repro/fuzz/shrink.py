@@ -1,0 +1,101 @@
+"""Shrink a failing scenario to a minimal regression schedule.
+
+Classic ddmin over the submission list, followed by a group-pruning pass:
+
+1. **ddmin** — try removing chunks of submissions (halving chunk sizes down
+   to single messages); keep a removal whenever the reduced scenario still
+   fails.  Because a run is a pure function of its scenario, every probe is
+   deterministic.
+2. **group pruning** — try dropping rank-order entries no remaining
+   submission addresses.  Non-destination groups still participate in the
+   protocol (Strategy (c) notifs route through them), so each candidate
+   removal is re-validated against the failure predicate rather than assumed
+   safe.
+
+The predicate is "the harness reports at least one violation" by default, so
+the shrinker preserves *a* failure, not necessarily the original one — which
+is what a regression schedule needs (any pinned violation is a real bug).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from .harness import FuzzResult, run_scenario
+from .scenario import FuzzScenario, Submission
+
+Predicate = Callable[[FuzzScenario], bool]
+
+
+def default_predicate(pivot_guard: bool = True) -> Predicate:
+    """Fail on *any* checked property, ordering anomalies included — a
+    regression schedule should pin whatever the checker can see."""
+
+    def fails(scenario: FuzzScenario) -> bool:
+        return not run_scenario(scenario, pivot_guard=pivot_guard).strict_ok
+
+    return fails
+
+
+def shrink_scenario(
+    scenario: FuzzScenario,
+    fails: Optional[Predicate] = None,
+    max_probes: int = 2_000,
+) -> FuzzScenario:
+    """Return a (locally) minimal scenario that still satisfies ``fails``."""
+    if fails is None:
+        fails = default_predicate()
+    if not fails(scenario):
+        raise ValueError("shrink_scenario needs a failing scenario to start from")
+
+    probes = 0
+
+    def probe(candidate: FuzzScenario) -> bool:
+        nonlocal probes
+        if probes >= max_probes:
+            return False
+        probes += 1
+        return fails(candidate)
+
+    current = scenario
+    current = _ddmin_submissions(current, probe)
+    current = _prune_groups(current, probe)
+    # A second submission pass often pays off after groups shrank.
+    current = _ddmin_submissions(current, probe)
+    return current
+
+
+def _ddmin_submissions(scenario: FuzzScenario, probe: Predicate) -> FuzzScenario:
+    submissions: List[Submission] = list(scenario.submissions)
+    chunk = max(1, len(submissions) // 2)
+    while chunk >= 1 and len(submissions) > 1:
+        removed_any = False
+        start = 0
+        while start < len(submissions):
+            candidate = submissions[:start] + submissions[start + chunk :]
+            if candidate and probe(scenario.with_submissions(candidate)):
+                submissions = candidate
+                removed_any = True
+                # Re-test the same offset: a new chunk slid into it.
+            else:
+                start += chunk
+        if not removed_any:
+            chunk //= 2
+    return scenario.with_submissions(submissions)
+
+
+def _prune_groups(scenario: FuzzScenario, probe: Predicate) -> FuzzScenario:
+    current = scenario
+    for gid in list(current.order):
+        used = set()
+        for sub in current.submissions:
+            used.update(sub.dst)
+        if gid in used or len(current.order) <= 2:
+            continue
+        candidate_order = tuple(g for g in current.order if g != gid)
+        candidate = current.with_order(candidate_order)
+        if candidate.reconfigs:
+            continue  # reconfig orders must stay permutations; skip pruning
+        if probe(candidate):
+            current = candidate
+    return current

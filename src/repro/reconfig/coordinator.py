@@ -40,6 +40,7 @@ from ..core.message import (
     Message,
     QuiesceQuery,
     QuiesceReply,
+    fresh_message_id,
 )
 from ..overlay.base import GroupId
 from ..overlay.cdag import CDagOverlay
@@ -187,6 +188,9 @@ class EpochCoordinator:
             sender=self.node_id,
             payload="epoch-barrier",
             payload_bytes=8,
+            # A namespaced id: barrier ids must never collide with
+            # application message ids (which may be caller-chosen).
+            msg_id=fresh_message_id(f"epoch{new_epoch}-barrier-"),
             is_flush=True,
         )
         record = SwitchRecord(

@@ -58,8 +58,9 @@ class ReconfigurableFlexCastGroup(FlexCastGroup):
         overlay: CDagOverlay,
         transport: Transport,
         sink: DeliverySink,
+        pivot_guard: bool = True,
     ) -> None:
-        super().__init__(group_id, overlay, transport, sink)
+        super().__init__(group_id, overlay, transport, sink, pivot_guard=pivot_guard)
         #: True between EpochPrepare and EpochSwitch (client intake parked).
         self.quiescing = False
         #: The announced epoch barrier — the only flush intake stays open for.
@@ -237,7 +238,9 @@ class ReconfigurableFlexCastProtocol(FlexCastProtocol):
     def create_group(
         self, group_id: GroupId, transport: Transport, sink: DeliverySink
     ) -> ReconfigurableFlexCastGroup:
-        return ReconfigurableFlexCastGroup(group_id, self.overlay, transport, sink)
+        return ReconfigurableFlexCastGroup(
+            group_id, self.overlay, transport, sink, pivot_guard=self.pivot_guard
+        )
 
     def install_overlay(self, overlay: CDagOverlay) -> None:
         """Commit a new overlay for client routing (coordinator use only)."""

@@ -111,6 +111,11 @@ class Network:
         self._messages_in_flight = 0
         self._total_messages = 0
         self._drop_filter: Optional[Callable[[NodeId, NodeId, Any], bool]] = None
+        # Delivery observers: called as fn(time, src, dst, payload) after a
+        # payload is handed to its destination.  Used for trace capture by the
+        # fuzz harness and the latency collector; observers must not mutate
+        # the payload.
+        self._delivery_observers: list = []
 
     # ---------------------------------------------------------- registration
     @property
@@ -156,6 +161,12 @@ class Network:
         multicast protocols themselves assume reliable channels.
         """
         self._drop_filter = drop
+
+    def add_delivery_observer(
+        self, observer: Callable[[float, NodeId, NodeId, Any], None]
+    ) -> None:
+        """Register a read-only observer of every delivered payload."""
+        self._delivery_observers.append(observer)
 
     def send(self, src: NodeId, dst: NodeId, payload: Any) -> float:
         """Send ``payload`` from ``src`` to ``dst``.
@@ -213,6 +224,8 @@ class Network:
             stats.received_by_kind[str(kind)] += 1
             stats.bytes_received_by_kind[str(kind)] += size
         node.handler(src, payload)
+        for observer in self._delivery_observers:
+            observer(self._loop.now, src, dst, payload)
 
     # -------------------------------------------------------------- statistics
     def traffic(self, node_id: NodeId) -> NodeTraffic:

@@ -105,6 +105,12 @@ class MultiPaxosReplica:
         self._proposers: Dict[int, Proposer] = {}
         self._proposer_index = self.peers.index(replica_id)
         self._next_instance = 0
+        #: instance -> command this replica originally proposed there.  After
+        #: a fail-over the new leader can be forced (by Paxos) to adopt an old
+        #: accepted value for an instance; the command it meant to propose is
+        #: then *displaced* and must be re-proposed at a fresh instance, or it
+        #: would be silently lost.
+        self._submitted: Dict[int, Any] = {}
         self._decided: Dict[int, Any] = {}
         self._applied_up_to = -1
         self._pending_commands: List[Any] = []
@@ -160,6 +166,7 @@ class MultiPaxosReplica:
             instance=instance, ballot=ballot, value=command, quorum_size=self.quorum_size
         )
         self._proposers[instance] = proposer
+        self._submitted[instance] = command
         self.stats["proposed"] += 1
         self._broadcast(proposer.prepare_message())
 
@@ -264,6 +271,16 @@ class MultiPaxosReplica:
         while self._applied_up_to + 1 in self._decided:
             self._applied_up_to += 1
             self._apply(self._applied_up_to, self._decided[self._applied_up_to])
+        # If Paxos forced this instance to decide an *older* accepted value,
+        # the command we meant to place here was displaced: give it a fresh
+        # instance (unless some other instance decided it meanwhile).
+        displaced = self._submitted.pop(instance, None)
+        if (
+            displaced is not None
+            and displaced != value
+            and displaced not in self._decided.values()
+        ):
+            self.submit(displaced)
 
     # ------------------------------------------------------------- inspection
     @property

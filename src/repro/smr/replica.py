@@ -75,11 +75,19 @@ class GroupReplica:
         protocol: AtomicMulticastProtocol,
         transport: Transport,
         sink: DeliverySink,
+        reported: Optional[set] = None,
     ) -> None:
         self.group_id = group_id
         self.replica_id = replica_id
         self._gated = _GatedTransport(transport)
         self._outer_transport = transport
+        #: Message ids already reported to the application, shared across the
+        #: logical group's replicas.  Around a fail-over, the old leader may
+        #: apply a committed instance (and report it) while a follower that
+        #: just took over applies the same instance later, when *it* is the
+        #: leader — without the shared set the application would see the
+        #: delivery twice.
+        self._reported = reported if reported is not None else set()
         # Each replica holds its own copy of the protocol state machine.
         self.protocol_state: AtomicMulticastGroup = protocol.create_group(
             group_id, self._gated, self._make_sink(sink)
@@ -95,8 +103,10 @@ class GroupReplica:
     def _make_sink(self, sink: DeliverySink) -> DeliverySink:
         def gated_sink(group_id: GroupId, message: Message) -> None:
             # Every replica records the delivery locally (state machine), but
-            # only the leader reports it to the outside world.
-            if self.smr.is_leader:
+            # only the leader reports it to the outside world — exactly once
+            # per message, even when leadership changes mid-instance.
+            if self.smr.is_leader and message.msg_id not in self._reported:
+                self._reported.add(message.msg_id)
                 sink(group_id, message)
 
         return gated_sink
@@ -158,6 +168,7 @@ class ReplicatedGroup:
         self.replicas: List[GroupReplica] = []
         self._crashed_indices: set = set()
         replica_ids = [replica_node(group_id, i) for i in range(replication_factor)]
+        reported: set = set()
         for replica_id in replica_ids:
             transport = _ReplicaTransport(network, replica_id, group_id, replica_ids)
             replica = GroupReplica(
@@ -167,6 +178,7 @@ class ReplicatedGroup:
                 protocol=protocol,
                 transport=transport,
                 sink=sink,
+                reported=reported,
             )
             self.replicas.append(replica)
             network.register(replica_id, site=site, handler=replica.on_message)

@@ -285,7 +285,8 @@ class TestStats:
         group.on_envelope(A, FlexCastMsg(message=msg("m1", {A, B, C}), history=EMPTY_DELTA))
         assert group.stats["msgs_received"] == 1
         assert group.stats["acks_sent"] == 1
-        assert group.queue_sizes() == {A: 0}
+        # Every ancestor queue plus the group's own client queue.
+        assert group.queue_sizes() == {A: 0, B: 0}
         assert group.history_size() == 1
 
 

@@ -1,0 +1,65 @@
+"""Shrinker behaviour: reduction, predicate preservation, determinism."""
+
+import pytest
+
+from repro.fuzz import FuzzScenario, Submission, shrink_scenario
+from repro.fuzz.shrink import _ddmin_submissions
+
+
+def scenario_with(submissions):
+    return FuzzScenario(
+        name="shrink-unit",
+        order=(0, 1, 2, 3),
+        submissions=tuple(submissions),
+        uniform_ms=10.0,
+    )
+
+
+class TestDdmin:
+    def test_reduces_to_the_failure_core(self):
+        # The "bug" is simply the presence of the two marked submissions.
+        needles = {"bad1", "bad2"}
+        submissions = [
+            Submission(at_ms=float(i), msg_id=f"m{i}", dst=(i % 4, (i + 1) % 4))
+            for i in range(40)
+        ] + [
+            Submission(at_ms=50.0, msg_id="bad1", dst=(0, 1)),
+            Submission(at_ms=51.0, msg_id="bad2", dst=(1, 2)),
+        ]
+
+        def fails(scenario):
+            present = {s.msg_id for s in scenario.submissions}
+            return needles <= present
+
+        shrunk = shrink_scenario(scenario_with(submissions), fails=fails)
+        assert {s.msg_id for s in shrunk.submissions} == needles
+
+    def test_requires_a_failing_scenario(self):
+        with pytest.raises(ValueError):
+            shrink_scenario(
+                scenario_with([Submission(at_ms=0.0, msg_id="a", dst=(0, 1))]),
+                fails=lambda s: False,
+            )
+
+    def test_prunes_unused_groups(self):
+        submissions = [Submission(at_ms=0.0, msg_id="a", dst=(0, 1))]
+
+        def fails(scenario):
+            return any(s.msg_id == "a" for s in scenario.submissions)
+
+        shrunk = shrink_scenario(scenario_with(submissions), fails=fails)
+        assert set(shrunk.order) == {0, 1}
+
+    def test_shrink_is_deterministic(self):
+        submissions = [
+            Submission(at_ms=float(i), msg_id=f"m{i}", dst=(i % 4, (i + 2) % 4))
+            for i in range(30)
+        ]
+
+        def fails(scenario):
+            return sum(1 for s in scenario.submissions if int(s.msg_id[1:]) % 3 == 0) >= 2
+
+        a = shrink_scenario(scenario_with(submissions), fails=fails)
+        b = shrink_scenario(scenario_with(submissions), fails=fails)
+        assert a == b
+        assert len(a.submissions) == 2

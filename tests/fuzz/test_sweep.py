@@ -1,0 +1,42 @@
+"""Sweep runner: gating semantics and CLI plumbing (small, fast slices)."""
+
+from repro.fuzz import run_sweep
+from repro.fuzz.sweep import main
+
+
+class TestRunSweep:
+    def test_small_sweep_is_clean_on_guarantees(self):
+        summary = run_sweep(range(4), profiles=("none", "dup", "crash"), shrink_failures=False)
+        assert summary.runs == 12
+        assert summary.ok, [f.violations for f in summary.failures]
+
+    def test_time_cap_stops_early(self):
+        summary = run_sweep(range(1000), profiles=("none",), time_cap_s=0.0)
+        assert summary.timed_out
+        assert summary.runs == 0
+
+    def test_unknown_profile_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            run_sweep(range(1), profiles=("meteor-strike",))
+
+
+class TestCli:
+    def test_cli_runs_and_reports(self, capsys):
+        code = main(["--seeds", "2", "--profiles", "none,crash", "--quiet", "--no-shrink"])
+        out = capsys.readouterr().out
+        assert "sweep:" in out
+        assert code == 0
+
+    def test_cli_replay_of_committed_regression(self, capsys):
+        from pathlib import Path
+
+        schedule = (
+            Path(__file__).parents[1] / "regression" / "schedules"
+            / "lost_delivery_inventory.json"
+        )
+        # Fixed protocol replays clean...
+        assert main(["--replay", str(schedule)]) == 0
+        # ...and the legacy unguarded protocol still exhibits the bug.
+        assert main(["--replay", str(schedule), "--unguarded"]) == 1

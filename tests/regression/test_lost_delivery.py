@@ -1,0 +1,62 @@
+"""Regression: the ``replicated_inventory`` lost-delivery schedule.
+
+The JSON schedules in ``schedules/`` were produced by the fuzz harness from
+the example's exact workload (ISSUE 3): the full 300-transfer scenario
+reproduces the original ``11/12 warehouses`` failure, and the ddmin-shrunk
+12-submission schedule pins its root cause — the Strategy (c) ack race that
+lets groups commit complementary halves of a delivery cycle, which then
+deadlocked the highest-ranked destination forever (four transfers applied at
+only one endpoint).
+
+``pivot_guard=False`` reverts to the seed's unguarded behaviour, so the
+shrunk schedule still demonstrably fails there and must stay clean on the
+fixed protocol.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import FuzzScenario, run_scenario
+
+SCHEDULES = Path(__file__).parent / "schedules"
+
+
+@pytest.fixture(scope="module")
+def shrunk():
+    return FuzzScenario.load(SCHEDULES / "lost_delivery_inventory.json")
+
+
+@pytest.fixture(scope="module")
+def full():
+    return FuzzScenario.load(SCHEDULES / "inventory_seed3_full.json")
+
+
+class TestShrunkSchedule:
+    def test_fails_on_unguarded_protocol(self, shrunk):
+        result = run_scenario(shrunk, pivot_guard=False)
+        assert not result.strict_ok
+        assert any(
+            "[acyclic-order]" in v
+            for v in result.violations + result.ordering_anomalies
+        )
+
+    def test_passes_on_fixed_protocol(self, shrunk):
+        result = run_scenario(shrunk, pivot_guard=True)
+        assert result.strict_ok, result.violations + result.ordering_anomalies
+        # Everything submitted is delivered at every destination.
+        assert result.delivered == sum(len(s.dst) for s in shrunk.submissions)
+
+
+class TestFullInventorySchedule:
+    """The example's full workload, replayed through the harness."""
+
+    def test_no_guarantee_violation_on_fixed_protocol(self, full):
+        result = run_scenario(full, pivot_guard=True)
+        # Guaranteed properties: integrity, no-loss/no-dup, prefix order.
+        assert result.ok, result.violations
+        # Every transfer reaches both endpoints (the original bug lost 4).
+        assert result.delivered == sum(len(s.dst) for s in full.submissions)
+
+    def test_shrunk_is_much_smaller_than_full(self, shrunk, full):
+        assert len(shrunk.submissions) <= 15 < len(full.submissions)
