@@ -34,7 +34,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.flexcast import FlexCastGroup  # noqa: E402
 from repro.core.history import History, HistoryDiffTracker  # noqa: E402
-from repro.core.message import Message  # noqa: E402
+from repro.core.message import FlexCastTsPropose, Message  # noqa: E402
 from repro.overlay.cdag import CDagOverlay  # noqa: E402
 from repro.protocols.base import RecordingSink  # noqa: E402
 from repro.reconfig.monitor import WorkloadMonitor  # noqa: E402
@@ -146,6 +146,47 @@ def bench_delivery_round(size: int) -> Callable[[], None]:
     return op
 
 
+def bench_delivery_round_hybrid(size: int) -> Callable[[], None]:
+    """One steady-state lca delivery round with the hybrid Skeen-timestamp
+    ordering authority on (|H| = ``size``).
+
+    Same shape as ``delivery_round`` plus the hybrid overhead: the client
+    request mints a local Skeen proposal (broadcast to the two peers), both
+    peers' proposals arrive, the final timestamp decides and the convoy gate
+    releases the delivery.  The gap to ``delivery_round`` is the paper's
+    convoy-effect cost on the gated hot path, which the CI gate bounds.
+    """
+    overlay = CDagOverlay(list(range(12)))
+    group = FlexCastGroup(
+        0, overlay, RecordingTransport(0), RecordingSink(), hybrid=True
+    )
+    for i in range(size):
+        group.history.record_delivery(
+            Message(msg_id=f"fill-{i}", dst=frozenset({0, 3, 7}))
+        )
+    for dest in (3, 7):
+        group.diff_tracker.diff_for(dest, group.history)
+    counter = {"i": 0}
+
+    def op() -> None:
+        counter["i"] += 1
+        mid = f"bench-{counter['i']}"
+        message = Message(msg_id=mid, dst=frozenset({0, 3, 7}))
+        group.on_client_request(message)
+        assert group.ts is not None
+        local_ts = group.ts.pending[mid].local_timestamp
+        for peer in (3, 7):
+            group.on_envelope(
+                peer,
+                FlexCastTsPropose(
+                    message=message, timestamp=local_ts, from_group=peer
+                ),
+            )
+        assert mid in group.delivered_in_g
+
+    return op
+
+
 def bench_reconfig_plan(size: int) -> Callable[[], None]:
     """One coordinator re-planning pass with ``size`` observations in the
     window (12-region AWS geometry, Asia-shifted workload)."""
@@ -171,6 +212,7 @@ BENCHMARKS: Dict[str, Callable[[int], Callable[[], None]]] = {
     "diff_for_cold": bench_diff_for_cold,
     "merge_delta": bench_merge_delta,
     "delivery_round": bench_delivery_round,
+    "delivery_round_hybrid": bench_delivery_round_hybrid,
     "reconfig_plan": bench_reconfig_plan,
 }
 
@@ -281,7 +323,7 @@ def main(argv: List[str] | None = None) -> int:
     )
     parser.add_argument(
         "--gate",
-        default="diff_for,delivery_round",
+        default="diff_for,delivery_round,delivery_round_hybrid",
         help="comma-separated benchmarks the --compare gate checks "
         "(default: %(default)s)",
     )

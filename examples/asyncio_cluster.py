@@ -6,7 +6,7 @@ emulating the AWS wide-area latencies on every connection, the same technique
 the paper uses on CloudLab — and multicasts a few messages from an asyncio
 client, printing the per-destination response latencies.
 
-Run with:  python examples/asyncio_cluster.py [--protocol flexcast|hierarchical|distributed] [--emulate-wan]
+Run with:  python examples/asyncio_cluster.py [--protocol flexcast|flexcast-hybrid|hierarchical|distributed] [--emulate-wan]
 """
 
 import argparse
@@ -24,6 +24,10 @@ def build_protocol(name: str):
     latencies = aws_latency_matrix()
     if name == "flexcast":
         return FlexCastProtocol(build_o1(latencies)), latencies
+    if name == "flexcast-hybrid":
+        # Skeen-timestamp ordering authority fused in: global messages also
+        # acquire final timestamps (ts-propose envelopes over the real wire).
+        return FlexCastProtocol(build_o1(latencies), hybrid=True), latencies
     if name == "hierarchical":
         return HierarchicalProtocol(build_t1(latencies)), latencies
     if name == "distributed":
@@ -58,7 +62,7 @@ async def run(protocol_name: str, emulate_wan: bool) -> None:
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--protocol", default="flexcast",
-                        choices=["flexcast", "hierarchical", "distributed"])
+                        choices=["flexcast", "flexcast-hybrid", "hierarchical", "distributed"])
     parser.add_argument("--emulate-wan", action="store_true",
                         help="inject AWS inter-region latencies on every connection")
     args = parser.parse_args()

@@ -23,7 +23,17 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..core.message import Message
 from ..overlay.base import GroupId
@@ -159,36 +169,91 @@ def _check_prefix_order(
                         )
 
 
-def _check_acyclic_order(
-    report: CheckReport, sequences: Mapping[GroupId, Sequence[str]]
-) -> None:
-    # Build the ≺ relation: edge a -> b if some group delivers a right before b
-    # (transitively, anywhere earlier in its sequence).
+def find_delivery_cycle(
+    successors: Mapping[str, Set[str]], nodes: Iterable[str]
+) -> Optional[List[str]]:
+    """One concrete cycle in the delivery relation, or ``None`` if acyclic.
+
+    Returns the cycle as a closed path ``[a, b, …, a]``.  Used by the
+    acyclic-order check and the sequential-replay oracle so a violation names
+    an actual witness — with hybrid mode promoting ``acyclic-order`` to a
+    hard CI failure, "a cycle exists" alone is not an actionable report.
+    """
+    colors: Dict[str, int] = {}
+    stack: List[str] = []
+    on_stack: Dict[str, int] = {}
+
+    def visit(start: str) -> Optional[List[str]]:
+        # Iterative DFS with an explicit path so deep chains cannot blow the
+        # recursion limit (delivery relations reach thousands of messages).
+        work: List[Tuple[str, Iterator[str]]] = [(start, iter(successors.get(start, ())))]
+        colors[start] = 1
+        on_stack[start] = len(stack)
+        stack.append(start)
+        while work:
+            node, edges = work[-1]
+            advanced = False
+            for succ in edges:
+                state = colors.get(succ, 0)
+                if state == 1:
+                    cycle = stack[on_stack[succ]:] + [succ]
+                    return cycle
+                if state == 0:
+                    colors[succ] = 1
+                    on_stack[succ] = len(stack)
+                    stack.append(succ)
+                    work.append((succ, iter(successors.get(succ, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                work.pop()
+                colors[node] = 2
+                stack.pop()
+                on_stack.pop(node, None)
+        return None
+
+    for node in nodes:
+        if colors.get(node, 0) == 0:
+            found = visit(node)
+            if found is not None:
+                return found
+    return None
+
+
+def delivery_relation(
+    sequences: Mapping[GroupId, Sequence[str]]
+) -> Tuple[Dict[str, Set[str]], Set[str]]:
+    """The union ``≺`` relation: edge a -> b when some group delivers ``a``
+    immediately before ``b`` (per-sequence paths make it transitive)."""
     successors: Dict[str, Set[str]] = defaultdict(set)
     nodes: Set[str] = set()
     for sequence in sequences.values():
         nodes.update(sequence)
         for earlier_idx in range(len(sequence) - 1):
             successors[sequence[earlier_idx]].add(sequence[earlier_idx + 1])
+    return successors, nodes
 
-    # Kahn's algorithm; a leftover node set means there is a cycle.
-    indegree: Dict[str, int] = {n: 0 for n in nodes}
-    for src, dsts in successors.items():
-        for dst in dsts:
-            indegree[dst] = indegree.get(dst, 0) + 1
-    queue = [n for n, d in indegree.items() if d == 0]
-    visited = 0
-    while queue:
-        node = queue.pop()
-        visited += 1
-        for succ in successors.get(node, ()):
-            indegree[succ] -= 1
-            if indegree[succ] == 0:
-                queue.append(succ)
-    if visited != len(nodes):
+
+def format_cycle(cycle: Sequence[str]) -> str:
+    """Render a closed cycle path compactly (long cycles capped at 12 nodes).
+
+    Shared by the acyclic-order check and the sequential-replay oracle so
+    both reports name the witness the same way.
+    """
+    shown = list(cycle) if len(cycle) <= 12 else list(cycle[:11]) + ["…", cycle[-1]]
+    return " < ".join(shown)
+
+
+def _check_acyclic_order(
+    report: CheckReport, sequences: Mapping[GroupId, Sequence[str]]
+) -> None:
+    successors, nodes = delivery_relation(sequences)
+    cycle = find_delivery_cycle(successors, sorted(nodes))
+    if cycle is not None:
         report.add(
             "acyclic-order",
-            f"the delivery relation contains a cycle ({len(nodes) - visited} nodes involved)",
+            f"the delivery relation contains a cycle of {len(cycle) - 1} "
+            f"messages: {format_cycle(cycle)}",
         )
 
 

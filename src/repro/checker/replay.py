@@ -26,12 +26,17 @@ shows up as a concrete state divergence, which is the form application code
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set
+from collections import defaultdict
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set
 
 from ..core.message import Message
 from ..overlay.base import GroupId
-from .properties import CheckReport
+from .properties import (
+    CheckReport,
+    delivery_relation,
+    find_delivery_cycle,
+    format_cycle,
+)
 
 #: Order-sensitive fold: ``state = fold(state, msg_id)``.  The default hash
 #: chain makes any reordering/loss/duplication change the final state.
@@ -98,9 +103,12 @@ def check_sequential_replay(
 
     order = witness_order(sequences, tiebreak=tiebreak)
     if order is None:
+        successors, nodes = delivery_relation(sequences)
+        cycle = find_delivery_cycle(successors, sorted(nodes)) or []
         report.add(
             "replay",
-            "no sequential replay exists: the union delivery relation is cyclic",
+            "no sequential replay exists: the union delivery relation is "
+            f"cyclic ({format_cycle(cycle)})",
         )
         return report
 

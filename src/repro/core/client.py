@@ -11,7 +11,7 @@ interactive client.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from ..overlay.base import GroupId
 from ..protocols.base import AtomicMulticastProtocol
@@ -78,7 +78,7 @@ class MulticastClient:
     def multicast(
         self,
         destinations: Iterable[GroupId],
-        payload=None,
+        payload: Any = None,
         payload_bytes: int = 64,
     ) -> Message:
         """Multicast a fresh message and start tracking its responses."""

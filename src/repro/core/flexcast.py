@@ -23,6 +23,21 @@ dependency information that could order another message before ``m``:
   down to the destinations of ``m``.  Notified groups are carried in the
   envelopes so destinations know to wait for their acks as well.
 
+On top of the paper's protocol, an optional **hybrid mode** fuses the
+Distributed baseline's ordering authority (Skeen-style final timestamps,
+:class:`~repro.core.timestamps.TimestampAuthority`) into the delivery gate:
+every *global* message additionally acquires a final timestamp from its
+destination groups, and contested deliveries follow ``(final timestamp, id)``
+order.  This closes the c-DAG's one residual ordering hole — under extreme
+cross-group conflict density, disjoint-destination chains could previously
+commit complementary halves of a global delivery cycle that the down-only
+information flow surfaces only after the fact (a *detected* ``acyclic-order``
+anomaly).  With hybrid mode on, global acyclic order is a guaranteed
+property; with it off (the default), behaviour is bit-identical to the
+timestamp-free protocol.  See DESIGN.md "hybrid Skeen-timestamp ordering
+authority" for the argument and the overhead trade-off (the paper's convoy
+effect, §5).
+
 The implementation below follows the paper's pseudo-code closely; method names
 echo the pseudo-code (``can_deliver`` = ``can-deliver``, ``reprocess_queues``
 = ``reprocess-queues``, …) to keep the correspondence auditable.
@@ -32,7 +47,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, FrozenSet, Hashable, List, Optional, Set
+from typing import Deque, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from ..overlay.base import GroupId
 from ..overlay.cdag import CDagOverlay
@@ -50,8 +65,12 @@ from .message import (
     FlexCastAck,
     FlexCastMsg,
     FlexCastNotif,
+    FlexCastTsPropose,
+    HistoryDelta,
     Message,
+    TsProposal,
 )
+from .timestamps import TimestampAuthority
 
 
 @dataclass
@@ -106,6 +125,7 @@ class FlexCastGroup(AtomicMulticastGroup):
         transport: Transport,
         sink: DeliverySink,
         pivot_guard: bool = True,
+        hybrid: bool = False,
     ) -> None:
         super().__init__(group_id, transport, sink)
         self.overlay = overlay
@@ -113,6 +133,14 @@ class FlexCastGroup(AtomicMulticastGroup):
         #: ``False`` reverts to the seed's unguarded behaviour — kept only so
         #: regression schedules can demonstrate the lost-delivery bug they pin.
         self.pivot_guard = pivot_guard
+        #: Hybrid Skeen-timestamp ordering authority (None = hybrid off).
+        #: When on, every global message this group is a destination of
+        #: acquires a final timestamp from all its destinations, and the
+        #: delivery gate orders contested messages by ``(final ts, id)``
+        #: instead of waiting out (or escaping) contradictory pivots.
+        self.ts: Optional[TimestampAuthority] = (
+            TimestampAuthority(group_id) if hybrid else None
+        )
         self.history = History()
         #: Messages delivered at this group (``deliveredInG``).
         self.delivered_in_g: Set[str] = set()
@@ -195,6 +223,8 @@ class FlexCastGroup(AtomicMulticastGroup):
             "gc_pruned": 0,
             "journal_compacted": 0,
             "guard_escapes": 0,
+            "ts_proposals_sent": 0,
+            "ts_proposals_received": 0,
         }
 
     # --------------------------------------------------------------- helpers
@@ -208,11 +238,29 @@ class FlexCastGroup(AtomicMulticastGroup):
             self.pending[message.msg_id] = entry
         return entry
 
+    def _may_enqueue(self, entry: "PendingMessage", message: Message) -> bool:
+        """Single gate every enqueue path must pass (``_on_msg``,
+        ``_enqueue_local``).
+
+        The ``is_forgotten`` clause stops a duplicated envelope (or
+        re-submission) that outlived the flush GC from re-enqueuing its
+        pruned — already delivered — message: the GC discards
+        ``delivered_in_g``, so without it the duplicate would re-deliver,
+        and in hybrid mode it could not even re-acquire a timestamp
+        (``_acquire_timestamp`` refuses forgotten ids), leaving the convoy
+        gate to trip on a queued message with no timestamp entry.
+        """
+        return (
+            not entry.enqueued
+            and message.msg_id not in self.delivered_in_g
+            and not self.history.is_forgotten(message.msg_id)
+        )
+
     def lca_of(self, message: Message) -> GroupId:
         """The lowest common ancestor (entry group) of ``message``."""
         return self.overlay.lca(message.dst)
 
-    def _merge_history(self, delta) -> None:
+    def _merge_history(self, delta: HistoryDelta) -> None:
         """Merge an incoming delta and index its new open dependencies.
 
         Scanning only the delta's vertices keeps the update O(|delta|); the
@@ -227,6 +275,12 @@ class FlexCastGroup(AtomicMulticastGroup):
         for mid, dst in delta.vertices:
             if me in dst and mid not in self.delivered_in_g and mid in self.history:
                 self._undelivered_to_me.add(mid)
+                if self.ts is not None and len(dst) > 1:
+                    # Hybrid: a merged delta revealed a global message
+                    # addressed to us before its own envelope arrived —
+                    # propose now so its final timestamp converges early
+                    # (the vertex carries everything a proposal needs).
+                    self._acquire_timestamp(Message(msg_id=mid, dst=dst))
         # A merge can *relax* a delivery condition, not only tighten it: a
         # blocked candidate may gain its own path to a pivot (guard
         # exemption), or a new edge may close a cycle that voids a blocker
@@ -270,6 +324,8 @@ class FlexCastGroup(AtomicMulticastGroup):
             self._on_ack(envelope)
         elif isinstance(envelope, FlexCastNotif):
             self._on_notif(envelope)
+        elif isinstance(envelope, FlexCastTsPropose):
+            self._on_ts_propose(envelope)
         else:
             raise ProtocolError(f"FlexCast group got unexpected envelope {envelope!r}")
 
@@ -287,10 +343,12 @@ class FlexCastGroup(AtomicMulticastGroup):
             # Only clients submit at the lca; other groups never forward here.
             self._enqueue_local(message)
             return
+        self._acquire_timestamp(message)
+        self._observe_proposals(message, envelope.ts_proposals)
         self._merge_history(envelope.history)
         entry = self._pending_for(message)
         entry.notified.update(envelope.notified)
-        if not entry.enqueued and message.msg_id not in self.delivered_in_g:
+        if self._may_enqueue(entry, message):
             self.queues[self.lca_of(message)].append(message)
             entry.enqueued = True
         self._mark_queue_dirty(self.lca_of(message))
@@ -300,6 +358,8 @@ class FlexCastGroup(AtomicMulticastGroup):
         """``upon receiving [ack, m, history] from ancestor a``."""
         message = envelope.message
         self.stats["acks_received"] += 1
+        self._acquire_timestamp(message)
+        self._observe_proposals(message, envelope.ts_proposals)
         self._merge_history(envelope.history)
         entry = self._pending_for(message)
         entry.acks.add(envelope.from_group)
@@ -331,17 +391,120 @@ class FlexCastGroup(AtomicMulticastGroup):
         # The merged delta may have relaxed (or tightened) guard decisions.
         self.reprocess_queues()
 
+    def _on_ts_propose(self, envelope: FlexCastTsPropose) -> None:
+        """Hybrid mode: another destination's Skeen proposal for ``message``.
+
+        Proposals are rank-independent (they depend only on the destination
+        set), so this handler has no epoch/rank preconditions — it also runs
+        while the reconfiguration layer is quiescing, which is what lets a
+        convoy-blocked message finish deciding and drain before a switch.
+        """
+        message = envelope.message
+        self.stats["ts_proposals_received"] += 1
+        if self.group_id not in message.dst:
+            raise ProtocolError(
+                f"group {self.group_id} received a timestamp proposal for "
+                f"{message.msg_id} addressed to {sorted(message.dst)}"
+            )
+        if self.ts is None:
+            # Mixed hybrid/non-hybrid deployments are invalid: a group that
+            # never proposes would block every timestamp decision forever.
+            raise ProtocolError(
+                f"group {self.group_id} runs with hybrid mode off but received "
+                f"a timestamp proposal for {message.msg_id}"
+            )
+        self._acquire_timestamp(message)
+        self._observe_proposals(message, ((envelope.from_group, envelope.timestamp),))
+        self.reprocess_queues()
+
+    def _acquire_timestamp(self, message: Message) -> None:
+        """Hybrid mode: first-contact Skeen proposal for a global message.
+
+        Piggybacks on whatever made this group learn of ``message`` (client
+        request, msg/ack envelope, merged history vertex, or a peer's
+        proposal) and broadcasts the local timestamp to every other
+        destination.  Duplicate contacts are absorbed by the authority, so
+        re-routes, bounces and duplicated envelopes never mint a second
+        proposal.
+        """
+        if self.ts is None or not message.is_global:
+            return
+        if self.has_delivered(message.msg_id) or self.history.is_forgotten(
+            message.msg_id
+        ):
+            return
+        local_ts = self.ts.propose(message.msg_id, message.dst)
+        if local_ts is None:
+            return
+        # Proposing needs only the message's identity and destination set, so
+        # the payload is stripped from the broadcast — re-shipping it |dst|-1
+        # times per proposer would dwarf the ~41-byte envelope the traffic
+        # accounting (and DESIGN.md's overhead claim) budget for.  The `msg`
+        # envelope remains the single payload carrier.
+        probe = Message(msg_id=message.msg_id, dst=message.dst)
+        for dest in message.dst:
+            if dest == self.group_id:
+                continue
+            self.send(
+                dest,
+                FlexCastTsPropose(
+                    message=probe,
+                    timestamp=local_ts,
+                    from_group=self.group_id,
+                    epoch=self.epoch,
+                ),
+            )
+            self.stats["ts_proposals_sent"] += 1
+        # Proposing can decide immediately (early proposals completed the
+        # set), which may relax any queue head's timestamp gate.
+        self._mark_all_queues_dirty()
+
+    def _observe_proposals(
+        self, message: Message, proposals: Sequence[TsProposal]
+    ) -> None:
+        """Hybrid mode: max-merge piggybacked/direct proposals for ``message``.
+
+        A recorded proposal *raises* the message's effective timestamp (or
+        decides it), which can unblock a head in **any** queue — the convoy
+        gate compares across the whole pending set — so every queue is
+        re-marked dirty on change.
+        """
+        if self.ts is None or not proposals:
+            return
+        if self.has_delivered(message.msg_id) or self.history.is_forgotten(
+            message.msg_id
+        ):
+            # Late/duplicated proposals for a resolved (possibly already
+            # garbage-collected) message: advance the clock (Lamport receive
+            # rule) but never buffer state that nothing would clean up.
+            self.ts.clock = max(
+                self.ts.clock, max(timestamp for _, timestamp in proposals)
+            )
+            return
+        changed = False
+        for group, timestamp in proposals:
+            changed = self.ts.observe(message.msg_id, group, timestamp) or changed
+        if changed:
+            self._mark_all_queues_dirty()
+
+    def _timestamped(self, message: Message) -> bool:
+        """True iff ``message`` is ordered by the hybrid timestamp authority."""
+        return self.ts is not None and message.is_global
+
     def _enqueue_local(self, message: Message) -> None:
         """Queue a client-submitted message at its lca and drain.
 
         The lca almost always delivers the message within this very call (it
         is the first destination to order it).  The queue only matters when
-        the pivot guard defers it: delivering it *now* would slot it before
-        an in-flight message that this group already knows precedes a notif
-        pivot, retroactively invalidating an ack it has sent.
+        the pivot guard defers it — or, in hybrid mode, while the message's
+        final timestamp is still being acquired: delivering it *now* would
+        slot it before an in-flight message that this group already knows
+        precedes a notif pivot, retroactively invalidating an ack it has
+        sent.
         """
+        self._acquire_timestamp(message)
         entry = self._pending_for(message)
-        if not entry.enqueued and message.msg_id not in self.delivered_in_g:
+        if self._may_enqueue(entry, message):
             self.queues[self.group_id].append(message)
             entry.enqueued = True
         self._mark_queue_dirty(self.group_id)
@@ -377,7 +540,19 @@ class FlexCastGroup(AtomicMulticastGroup):
         queue = self.queues.get(self.lca_of(message))
         if queue and queue[0].msg_id == message.msg_id:
             queue.popleft()
+        elif queue and self.ts is not None:
+            # Hybrid delivers in (final ts, id) order, which may legally
+            # invert the FIFO arrival order within one lca queue.
+            for index, queued in enumerate(queue):
+                if queued.msg_id == message.msg_id:
+                    del queue[index]
+                    break
         self.send_descendants(message, ack=(self.lca_of(message) != self.group_id))
+        if self.ts is not None and message.is_global:
+            # Retire the timestamp entry only after the outgoing msg/ack
+            # envelopes were built, so they still piggyback the full
+            # proposal set for destinations that missed a direct proposal.
+            self.ts.complete(message.msg_id)
 
         # Delivering this message may unblock pending notifications.
         still_pending: List[PendingNotification] = []
@@ -419,6 +594,11 @@ class FlexCastGroup(AtomicMulticastGroup):
         self.send_notifs(message)
         entry = self._pending_for(message)
         notified = frozenset(entry.notified)
+        ts_proposals: Tuple[TsProposal, ...] = (
+            self.ts.proposals_of(message.msg_id)
+            if self._timestamped(message)
+            else ()
+        )
         for dest in self.overlay.descendants(self.group_id):
             if dest not in message.dst:
                 continue
@@ -430,12 +610,13 @@ class FlexCastGroup(AtomicMulticastGroup):
                     from_group=self.group_id,
                     notified=notified,
                     epoch=self.epoch,
+                    ts_proposals=ts_proposals,
                 )
                 self.stats["acks_sent"] += 1
             else:
                 envelope = FlexCastMsg(
                     message=message, history=delta, notified=notified,
-                    epoch=self.epoch,
+                    epoch=self.epoch, ts_proposals=ts_proposals,
                 )
                 self.stats["msgs_sent"] += 1
             self.send(dest, envelope)
@@ -488,9 +669,39 @@ class FlexCastGroup(AtomicMulticastGroup):
         while dirty:
             lca = dirty.pop()
             queue = self.queues.get(lca)
-            while queue and self.can_deliver(queue[0]):
-                # a_deliver pops the head and re-marks all queues dirty.
-                self.a_deliver(queue[0])
+            if self.ts is not None:
+                # Hybrid: the timestamp order may invert the FIFO arrival
+                # order within a queue (a later arrival can hold a smaller
+                # final timestamp), so a blocked head must not wall off a
+                # deliverable message behind it — scan the whole queue and
+                # restart after every delivery.
+                progressed = True
+                while queue and progressed:
+                    progressed = False
+                    # Only the authority's unique minimum-key message can
+                    # pass the convoy gate, so other timestamped candidates
+                    # are skipped without running the full O(|pending|)
+                    # gate per entry (a contested burst would otherwise
+                    # make each dirty pass quadratic in the queue).
+                    nxt = self.ts.next_deliverable()
+                    for message in list(queue):
+                        if (
+                            self._timestamped(message)
+                            and self.ts.is_pending(message.msg_id)
+                            and message.msg_id != nxt
+                        ):
+                            continue
+                        # Non-pending timestamped entries fall through so
+                        # _ts_gate_allows can flag the invariant breach.
+                        if self.can_deliver(message):
+                            # a_deliver unlinks the message from the queue.
+                            self.a_deliver(message)
+                            progressed = True
+                            break
+            else:
+                while queue and self.can_deliver(queue[0]):
+                    # a_deliver pops the head and re-marks all queues dirty.
+                    self.a_deliver(queue[0])
             if queue and self._guard_only_blocked(queue[0]):
                 guard_blocked = True
         if guard_blocked and self._escape_timer is None:
@@ -500,6 +711,12 @@ class FlexCastGroup(AtomicMulticastGroup):
 
     def _guard_only_blocked(self, message: Message) -> bool:
         """True iff only the pivot guard holds ``message`` back."""
+        if self._timestamped(message):
+            # Hybrid: timestamped messages never wait on the guard (the
+            # authority orders them), so no escape timer is ever needed —
+            # a timestamp block resolves on the next proposal arrival or
+            # smaller-timestamp delivery, both ordinary events.
+            return False
         return (
             self.ancestors_to_ack(message) <= self.ancestors_that_acked(message)
             and self._dependencies_satisfied(message.msg_id)
@@ -534,8 +751,8 @@ class FlexCastGroup(AtomicMulticastGroup):
         else:
             self._escape_stalls += 1
 
-        def blockers_of(msg_id):
-            found = set()
+        def blockers_of(msg_id: str) -> Set[str]:
+            found: Set[str] = set()
             for pivot in self._notif_pivots:
                 if pivot not in self.history:
                     continue
@@ -575,7 +792,33 @@ class FlexCastGroup(AtomicMulticastGroup):
             return False
         if not self._dependencies_satisfied(message.msg_id):
             return False
+        if self._timestamped(message):
+            # Hybrid: the timestamp authority subsumes the pivot guard for
+            # global messages.  The convoy gate delivers contested messages
+            # in ``(final ts, id)`` order — a *global* total order — so any
+            # ordering this delivery mints is consistent everywhere and the
+            # guard's concern (a new pre-pivot ordering closing a cycle)
+            # cannot materialise.  Contradictory pivot waits, which the
+            # non-hybrid protocol can only escape heuristically, are broken
+            # by the timestamp tie instead.
+            return self._ts_gate_allows(message)
         return self._pivot_guard_allows(message.msg_id)
+
+    def _ts_gate_allows(self, message: Message) -> bool:
+        """Hybrid convoy gate: deliver in global ``(final ts, id)`` order."""
+        assert self.ts is not None
+        if not self.ts.is_pending(message.msg_id):
+            # Every enqueue path proposes on first contact, and the authority
+            # completes a message only at delivery (which also unlinks it
+            # from its queue), so a queued global message without a pending
+            # entry is an invariant breach.  Fail loudly: delivering it
+            # anyway would be exactly the unordered delivery hybrid mode
+            # exists to rule out.
+            raise ProtocolError(
+                f"group {self.group_id}: queued global message "
+                f"{message.msg_id} has no timestamp entry"
+            )
+        return self.ts.deliverable(message.msg_id)
 
     def _pivot_guard_allows(self, msg_id: str) -> bool:
         """Pivot-consistency guard closing the Strategy (c) ack race.
@@ -663,7 +906,7 @@ class FlexCastGroup(AtomicMulticastGroup):
                 satisfied = False
                 break
             queue.extend(predecessors.get(node, ()))
-        if not satisfied:
+        if not satisfied and self.ts is None:
             # Poison tolerance: a blocking "predecessor" that is *also* a
             # descendant of the candidate sits in a delivery cycle with it —
             # a merged delta carried an upstream acyclic-order violation this
@@ -672,6 +915,12 @@ class FlexCastGroup(AtomicMulticastGroup):
             # violation into an unbounded lost-delivery cascade (the pre-fix
             # deadlock), so cycle-void blockers are ignored; genuine acyclic
             # blockers still hold the candidate back.
+            #
+            # Hybrid mode deliberately does NOT tolerate poison: the
+            # timestamp authority makes delivery cycles impossible, so a
+            # cycle-contradictory blocker would indicate a genuine protocol
+            # bug — blocking (and failing the fuzz liveness oracle) is the
+            # loud outcome a guaranteed property wants, not deliver-through.
             satisfied = all(
                 self.history.depends(later=node, earlier=msg_id)
                 for node in self.history.ancestors_of(msg_id)
@@ -718,6 +967,11 @@ class FlexCastGroup(AtomicMulticastGroup):
         victims = self.history.collect_garbage(flush.msg_id, keep=keep)
         compacted = self.diff_tracker.forget(victims, history=self.history)
         self._undelivered_to_me -= victims
+        if self.ts is not None:
+            # The history's forgotten-set keeps pruned ids from re-proposing
+            # (checked in _acquire_timestamp), so the authority can shed its
+            # completed-memory for them.
+            self.ts.forget(victims)
         for victim in victims & set(self._notif_pivots):
             del self._notif_pivots[victim]
         self._dep_epoch += 1
@@ -753,7 +1007,11 @@ class FlexCastGroup(AtomicMulticastGroup):
         watermarks survive as-is: watermarks are absolute journal sequence
         numbers, and a group that only now became a descendant falls below
         ``journal_base`` and simply receives a full live snapshot on first
-        contact (the PR-1 late-joiner path).
+        contact (the PR-1 late-joiner path).  The hybrid timestamp authority
+        (``self.ts``) also survives untouched: timestamps are a property of
+        a message's destination set, not of any rank order, so the Lamport
+        clock and any in-flight proposal state stay valid across the switch
+        (a proposal raced past the drain is still merged correctly after).
         """
         if not self.is_quiescent():
             raise ProtocolError(
@@ -785,17 +1043,30 @@ class FlexCastProtocol(AtomicMulticastProtocol):
     name = "FlexCast"
     genuine = True
 
-    def __init__(self, overlay: CDagOverlay, pivot_guard: bool = True) -> None:
+    def __init__(
+        self,
+        overlay: CDagOverlay,
+        pivot_guard: bool = True,
+        hybrid: bool = False,
+    ) -> None:
         if not isinstance(overlay, CDagOverlay):
             raise TypeError("FlexCast requires a complete-DAG overlay")
         super().__init__(overlay)
         self.pivot_guard = pivot_guard
+        #: Hybrid Skeen-timestamp ordering authority for global messages
+        #: (see the module docstring); every group must agree on this flag.
+        self.hybrid = hybrid
 
     def create_group(
         self, group_id: GroupId, transport: Transport, sink: DeliverySink
     ) -> FlexCastGroup:
         return FlexCastGroup(
-            group_id, self.overlay, transport, sink, pivot_guard=self.pivot_guard
+            group_id,
+            self.overlay,
+            transport,
+            sink,
+            pivot_guard=self.pivot_guard,
+            hybrid=self.hybrid,
         )
 
     def entry_groups(self, message: Message) -> List[GroupId]:

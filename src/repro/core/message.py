@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, FrozenSet, Iterable, Optional, Tuple
 
 from ..overlay.base import GroupId
 
@@ -193,6 +193,11 @@ class ClientResponse(Envelope):
         return _HEADER_BYTES + _MSG_ID_BYTES + _GROUP_ID_BYTES
 
 
+#: One piggybacked Skeen proposal: ``(proposing group, local timestamp)``.
+TsProposal = Tuple[GroupId, int]
+_TS_PROPOSAL_BYTES = _GROUP_ID_BYTES + _TIMESTAMP_BYTES
+
+
 @dataclass(frozen=True)
 class FlexCastMsg(Envelope):
     """FlexCast ``msg``: lca -> other destinations, with a history delta."""
@@ -202,6 +207,10 @@ class FlexCastMsg(Envelope):
     notified: FrozenSet[GroupId] = frozenset()
     #: Overlay-configuration epoch the sender was in (see repro.reconfig).
     epoch: int = 0
+    #: Hybrid mode: Skeen proposals for ``message`` known to the sender,
+    #: piggybacked so destinations converge on the final timestamp without
+    #: waiting for every dedicated ``ts-propose`` envelope.
+    ts_proposals: Tuple[TsProposal, ...] = ()
     kind: str = field(default="msg", init=False)
 
     def size_bytes(self) -> int:
@@ -211,6 +220,7 @@ class FlexCastMsg(Envelope):
             + self.message.size_bytes()
             + self.history.size_bytes()
             + len(self.notified) * _GROUP_ID_BYTES
+            + len(self.ts_proposals) * _TS_PROPOSAL_BYTES
         )
 
 
@@ -224,6 +234,8 @@ class FlexCastAck(Envelope):
     notified: FrozenSet[GroupId] = frozenset()
     #: Overlay-configuration epoch the sender was in (see repro.reconfig).
     epoch: int = 0
+    #: Hybrid mode: Skeen proposals for ``message`` known to the sender.
+    ts_proposals: Tuple[TsProposal, ...] = ()
     kind: str = field(default="ack", init=False)
 
     def size_bytes(self) -> int:
@@ -234,6 +246,7 @@ class FlexCastAck(Envelope):
             + _GROUP_ID_BYTES
             + self.history.size_bytes()
             + len(self.notified) * _GROUP_ID_BYTES
+            + len(self.ts_proposals) * _TS_PROPOSAL_BYTES
         )
 
 
@@ -255,6 +268,47 @@ class FlexCastNotif(Envelope):
             + _MSG_ID_BYTES
             + _GROUP_ID_BYTES
             + self.history.size_bytes()
+        )
+
+
+@dataclass(frozen=True)
+class FlexCastTsPropose(Envelope):
+    """Hybrid mode: one destination's Skeen proposal for a global message.
+
+    Sent by a destination to every *other* destination of ``message`` on
+    first contact (the lca proposes when the client submits; the others when
+    the proposal or the ``msg`` envelope reaches them).  It carries the
+    message's identity *and destination set* — not just its id — because a
+    destination may hear a proposal *before* FlexCast's own ``msg`` envelope
+    and must still be able to propose for the right destination set (Skeen's
+    early-proposal path).  The payload is stripped by the sender: proposing
+    never needs it, and the ``msg`` envelope remains the single payload
+    carrier (see :data:`PAYLOAD_KINDS`).
+
+    Only destinations of ``message`` exchange these, so genuineness is
+    preserved.
+
+    Timestamps are a property of the destination set, not of any overlay
+    rank order, so the envelope is processed regardless of the epoch stamp
+    (carried for observability only) and is neither bounced nor parked by
+    the reconfiguration layer.
+    """
+
+    message: Message
+    timestamp: int
+    from_group: GroupId
+    #: Overlay-configuration epoch the sender was in (observability only).
+    epoch: int = 0
+    kind: str = field(default="ts-propose", init=False)
+
+    def size_bytes(self) -> int:
+        return (
+            _HEADER_BYTES
+            + _EPOCH_BYTES
+            + _MSG_ID_BYTES
+            + len(self.message.dst) * _GROUP_ID_BYTES
+            + _TIMESTAMP_BYTES
+            + _GROUP_ID_BYTES
         )
 
 

@@ -65,6 +65,11 @@ class FuzzResult:
       keeps it from ever losing messages, but it cannot be excluded — see
       DESIGN.md "anatomy of a lost delivery".  These are *reported* (and
       shrinkable) so the limitation stays measured, not hidden.
+
+    With **hybrid mode** on, the second bucket is retired: the Skeen
+    timestamp authority makes global acyclic order a guaranteed property, so
+    an acyclic-order finding is a genuine violation and stays in
+    :attr:`violations` (``finalize_buckets(strict=True)``).
     """
 
     scenario: FuzzScenario
@@ -86,7 +91,7 @@ class FuzzResult:
         """No violation of any checked property, ordering anomalies included."""
         return not self.violations and not self.ordering_anomalies
 
-    def finalize_buckets(self) -> None:
+    def finalize_buckets(self, strict: bool = False) -> None:
         """Move cycle-shadow violations into :attr:`ordering_anomalies`.
 
         When (and only when) a run contains an acyclic-order violation, the
@@ -95,7 +100,13 @@ class FuzzResult:
         going through contradictory constraints instead of losing messages).
         Without a cycle, prefix/replay failures are genuine guarantee
         breaches and stay in :attr:`violations`.
+
+        ``strict`` (hybrid mode) disables the re-bucketing entirely: acyclic
+        order is guaranteed there, so a cycle is a first-class violation and
+        the sweep gate must fail on it.
         """
+        if strict:
+            return
         has_cycle = any("[acyclic-order]" in v for v in self.violations)
         if not has_cycle:
             return
@@ -143,15 +154,26 @@ def _flush_submissions(scenario: FuzzScenario) -> List[Submission]:
     return flushes
 
 
-def run_scenario(scenario: FuzzScenario, pivot_guard: bool = True) -> FuzzResult:
-    """Execute ``scenario`` deterministically and return the checked result."""
+def run_scenario(
+    scenario: FuzzScenario,
+    pivot_guard: bool = True,
+    hybrid: Optional[bool] = None,
+) -> FuzzResult:
+    """Execute ``scenario`` deterministically and return the checked result.
+
+    ``hybrid=None`` (the default) follows the scenario's own ``hybrid``
+    field; an explicit ``True``/``False`` overrides it (the sweep's hybrid
+    on/off axis).
+    """
+    if hybrid is None:
+        hybrid = scenario.hybrid
     if scenario.replication_factor > 1:
-        return _run_replicated(scenario, pivot_guard)
-    return _run_flexcast(scenario, pivot_guard)
+        return _run_replicated(scenario, pivot_guard, hybrid)
+    return _run_flexcast(scenario, pivot_guard, hybrid)
 
 
 # ------------------------------------------------------------------ flexcast
-def _run_flexcast(scenario: FuzzScenario, pivot_guard: bool) -> FuzzResult:
+def _run_flexcast(scenario: FuzzScenario, pivot_guard: bool, hybrid: bool) -> FuzzResult:
     loop = EventLoop()
     latencies = _latency_matrix(scenario)
     network = Network(
@@ -160,9 +182,11 @@ def _run_flexcast(scenario: FuzzScenario, pivot_guard: bool) -> FuzzResult:
     overlay = CDagOverlay(list(scenario.order))
     reconfigurable = bool(scenario.reconfigs)
     if reconfigurable:
-        protocol = ReconfigurableFlexCastProtocol(overlay, pivot_guard=pivot_guard)
+        protocol = ReconfigurableFlexCastProtocol(
+            overlay, pivot_guard=pivot_guard, hybrid=hybrid
+        )
     else:
-        protocol = FlexCastProtocol(overlay, pivot_guard=pivot_guard)
+        protocol = FlexCastProtocol(overlay, pivot_guard=pivot_guard, hybrid=hybrid)
 
     sink = RecordingSink(clock=lambda: loop.now)
     groups: Dict[GroupId, object] = {}
@@ -266,12 +290,12 @@ def _run_flexcast(scenario: FuzzScenario, pivot_guard: bool) -> FuzzResult:
         epoch_report = check_epochs(delivery_epochs, barriers=coordinator.barriers)
         result.violations.extend(str(v) for v in epoch_report.violations)
 
-    result.finalize_buckets()
+    result.finalize_buckets(strict=hybrid)
     return result
 
 
 # ---------------------------------------------------------------- replicated
-def _run_replicated(scenario: FuzzScenario, pivot_guard: bool) -> FuzzResult:
+def _run_replicated(scenario: FuzzScenario, pivot_guard: bool, hybrid: bool) -> FuzzResult:
     """Crash-profile runs: one multi-Paxos replicated group, leader crashes."""
     loop = EventLoop()
     base = scenario.uniform_ms
@@ -281,7 +305,7 @@ def _run_replicated(scenario: FuzzScenario, pivot_guard: bool) -> FuzzResult:
     network = Network(
         loop, latencies, jitter_ms=scenario.jitter_ms, seed=scenario.net_seed
     )
-    protocol = FlexCastProtocol(CDagOverlay([0]), pivot_guard=pivot_guard)
+    protocol = FlexCastProtocol(CDagOverlay([0]), pivot_guard=pivot_guard, hybrid=hybrid)
 
     sink = RecordingSink(clock=lambda: loop.now)
     group = ReplicatedGroup(

@@ -24,14 +24,24 @@ from __future__ import annotations
 
 import random
 from dataclasses import replace
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
-from ..core.message import FlexCastAck, FlexCastMsg, FlexCastNotif
+from ..core.message import FlexCastAck, FlexCastMsg, FlexCastNotif, FlexCastTsPropose
 from .scenario import Crash, FuzzScenario, Reconfig
 
 PROFILES = ("none", "dup", "loss", "crash", "reconfig")
 
-_PROTOCOL_ENVELOPES = (FlexCastMsg, FlexCastAck, FlexCastNotif)
+#: Envelope kinds subject to fault injection, per fault mode.  Hybrid-mode
+#: timestamp proposals are *duplicated* (exercising the authority's
+#: duplicate-propose absorption) but never *dropped*: FlexCast assumes
+#: reliable channels either way, and a lost proposal head-of-line-blocks the
+#: entire convoy — every later global message at that destination stalls
+#: behind the undecided entry, so loss runs would degenerate into checking
+#: ever-emptier delivery prefixes instead of exploring msg/ack/notif loss.
+#: Non-hybrid runs never emit proposals, so the seeded fault schedule of
+#: existing scenarios is unchanged in both modes.
+_DROPPABLE_ENVELOPES = (FlexCastMsg, FlexCastAck, FlexCastNotif)
+_DUPLICABLE_ENVELOPES = _DROPPABLE_ENVELOPES + (FlexCastTsPropose,)
 
 
 def apply_profile(scenario: FuzzScenario, profile: str) -> FuzzScenario:
@@ -103,12 +113,13 @@ class EnvelopeFaultFilter:
         rate: float,
         seed: int,
         mode: str,
-        predicate: Callable[[Any], bool] = lambda p: isinstance(
-            p, _PROTOCOL_ENVELOPES
-        ),
+        predicate: Optional[Callable[[Any], bool]] = None,
     ) -> None:
         if mode not in ("drop", "dup"):
             raise ValueError(f"unknown fault mode {mode!r}")
+        if predicate is None:
+            kinds = _DROPPABLE_ENVELOPES if mode == "drop" else _DUPLICABLE_ENVELOPES
+            predicate = lambda p: isinstance(p, kinds)  # noqa: E731
         self._network = network
         self._rate = float(rate)
         self._rng = random.Random(seed)

@@ -73,6 +73,11 @@ class FuzzScenario:
     #: channels FlexCast assumes reliable), so the oracle checks that what
     #: *was* delivered is consistent, not that everything was delivered.
     expect_all_delivered: bool = True
+    #: Hybrid Skeen-timestamp ordering authority (see repro.core.flexcast).
+    #: With hybrid on, global acyclic order is a *guaranteed* property: the
+    #: harness promotes ``acyclic-order`` findings (and their replay/prefix
+    #: shadows) from reported anomalies to hard violations.
+    hybrid: bool = False
 
     # ------------------------------------------------------------- transforms
     def with_submissions(self, submissions: Sequence[Submission]) -> "FuzzScenario":

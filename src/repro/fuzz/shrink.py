@@ -27,12 +27,22 @@ from .scenario import FuzzScenario, Submission
 Predicate = Callable[[FuzzScenario], bool]
 
 
-def default_predicate(pivot_guard: bool = True) -> Predicate:
+def default_predicate(
+    pivot_guard: bool = True, hybrid: Optional[bool] = None
+) -> Predicate:
     """Fail on *any* checked property, ordering anomalies included — a
-    regression schedule should pin whatever the checker can see."""
+    regression schedule should pin whatever the checker can see.
+
+    ``hybrid`` mirrors :func:`repro.fuzz.harness.run_scenario`: ``None``
+    follows each candidate scenario's own flag, an explicit value pins the
+    mode so a finding from a forced-hybrid sweep shrinks under the same
+    protocol that produced it.
+    """
 
     def fails(scenario: FuzzScenario) -> bool:
-        return not run_scenario(scenario, pivot_guard=pivot_guard).strict_ok
+        return not run_scenario(
+            scenario, pivot_guard=pivot_guard, hybrid=hybrid
+        ).strict_ok
 
     return fails
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import List, Optional, Sequence
 
@@ -59,8 +59,14 @@ def run_sweep(
     shrink_failures: bool = True,
     time_cap_s: Optional[float] = None,
     progress=None,
+    hybrid: Optional[bool] = None,
 ) -> SweepSummary:
-    """Run every ``(seed, profile)`` scenario; shrink and collect failures."""
+    """Run every ``(seed, profile)`` scenario; shrink and collect failures.
+
+    ``hybrid`` selects the ordering mode for every run: ``True`` forces the
+    Skeen-timestamp hybrid on (acyclic-order findings become hard failures),
+    ``False`` forces it off, ``None`` follows each scenario's own flag.
+    """
     for profile in profiles:
         if profile not in PROFILES:
             raise ValueError(f"unknown profile {profile!r} (know {PROFILES})")
@@ -73,6 +79,8 @@ def run_sweep(
                 summary.elapsed_s = time.monotonic() - started
                 return summary
             scenario = apply_profile(generate_scenario(seed, profile), profile)
+            if hybrid is not None:
+                scenario = replace(scenario, hybrid=hybrid)
             result = run_scenario(scenario, pivot_guard=pivot_guard)
             summary.runs += 1
             if result.strict_ok:
@@ -134,13 +142,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="run with the legacy (pre-fix) protocol, pivot guard disabled",
     )
+    parser.add_argument(
+        "--hybrid",
+        dest="hybrid",
+        action="store_true",
+        default=None,
+        help="force the Skeen-timestamp hybrid ordering authority ON for "
+        "every run (acyclic-order findings become hard failures)",
+    )
+    parser.add_argument(
+        "--no-hybrid",
+        dest="hybrid",
+        action="store_false",
+        help="force hybrid mode OFF (default: follow each scenario's flag)",
+    )
     parser.add_argument("--replay", default=None, help="replay one schedule JSON")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
     if args.replay:
         scenario = FuzzScenario.load(args.replay)
-        result = run_scenario(scenario, pivot_guard=not args.unguarded)
+        result = run_scenario(
+            scenario, pivot_guard=not args.unguarded, hybrid=args.hybrid
+        )
         print(
             f"replayed {scenario.name}: submitted={result.submitted} "
             f"delivered={result.delivered} violations={len(result.violations)} "
@@ -176,6 +200,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         shrink_failures=not args.no_shrink,
         time_cap_s=args.time_cap_s,
         progress=progress,
+        hybrid=args.hybrid,
     )
     print(
         f"\nsweep: {summary.clean}/{summary.runs} clean, "

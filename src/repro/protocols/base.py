@@ -9,8 +9,8 @@ baseline are interchangeable in every benchmark.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional
 
 from ..overlay.base import GroupId, Overlay
 from ..sim.transport import Transport

@@ -24,8 +24,7 @@ exercised, so this faithful crash-stop variant is the right baseline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Hashable, List, Set
+from typing import Hashable, List, Set
 
 from ..overlay.base import GroupId
 from ..overlay.tree import TreeOverlay

@@ -19,15 +19,20 @@ Algorithm (for a message ``m`` multicast to groups ``m.dst``):
 
 The protocol is genuine (only destinations exchange messages) and delivers in
 two communication steps after the client's send, which is optimal.
+
+The timestamp machinery itself — clock, proposal max-merge, the convoy-wait
+delivery gate — lives in :class:`repro.core.timestamps.TimestampAuthority`,
+shared with FlexCast's hybrid mode so both deployments run one tested
+implementation; this module only adds the wire protocol around it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, List
 
-from ..overlay.base import CompleteGraphOverlay, GroupId, Overlay
 from ..core.message import ClientRequest, Envelope, Message, SkeenPropose, SkeenTimestamp
+from ..core.timestamps import TimestampAuthority
+from ..overlay.base import GroupId, Overlay
 from ..sim.transport import Transport
 from .base import (
     AtomicMulticastGroup,
@@ -36,28 +41,7 @@ from .base import (
     ProtocolError,
 )
 
-
-@dataclass
-class _PendingSkeen:
-    """State of one undelivered message at one destination group."""
-
-    message: Message
-    #: Local timestamp proposed by this group.
-    local_timestamp: int
-    #: Timestamps received so far, keyed by proposing group.
-    proposals: Dict[GroupId, int] = field(default_factory=dict)
-    #: Final (maximum) timestamp; ``None`` while proposals are missing.
-    final_timestamp: Optional[int] = None
-
-    @property
-    def decided(self) -> bool:
-        return self.final_timestamp is not None
-
-    def effective_timestamp(self) -> Tuple[int, str]:
-        """Sort key used for delivery: final timestamp if decided, otherwise
-        the local proposal (a lower bound on the final timestamp)."""
-        ts = self.final_timestamp if self.decided else self.local_timestamp
-        return (ts, self.message.msg_id)
+__all__ = ["SkeenGroup", "SkeenProtocol", "TimestampAuthority"]
 
 
 class SkeenGroup(AtomicMulticastGroup):
@@ -72,12 +56,16 @@ class SkeenGroup(AtomicMulticastGroup):
     ) -> None:
         super().__init__(group_id, transport, sink)
         self.overlay = overlay
-        #: Lamport-style logical clock used to propose timestamps.
-        self.clock = 0
-        self.pending: Dict[str, _PendingSkeen] = {}
-        #: Proposals that arrived before the client request (keyed by message id).
-        self._early_proposals: Dict[str, Dict[GroupId, int]] = {}
+        #: Timestamp state: Lamport clock, proposals, convoy-wait gate.
+        self.authority = TimestampAuthority(group_id)
+        #: msg_id -> message, for proposed-but-undelivered messages.
+        self._messages: Dict[str, Message] = {}
         self.stats = {"proposals_sent": 0, "timestamps_received": 0}
+
+    @property
+    def clock(self) -> int:
+        """The group's logical clock (exposed for tests/diagnostics)."""
+        return self.authority.clock
 
     # ------------------------------------------------------------ entry points
     def on_client_request(self, message: Message) -> None:
@@ -97,12 +85,12 @@ class SkeenGroup(AtomicMulticastGroup):
 
     # ---------------------------------------------------------------- algorithm
     def _propose(self, message: Message) -> None:
-        if message.msg_id in self.pending or self.has_delivered(message.msg_id):
-            return  # duplicate submission
-        self.clock += 1
-        entry = _PendingSkeen(message=message, local_timestamp=self.clock)
-        entry.proposals[self.group_id] = self.clock
-        self.pending[message.msg_id] = entry
+        if self.has_delivered(message.msg_id):
+            return  # duplicate submission of a resolved message
+        local_timestamp = self.authority.propose(message.msg_id, message.dst)
+        if local_timestamp is None:
+            return  # duplicate submission of a pending message
+        self._messages[message.msg_id] = message
         self.stats["proposals_sent"] += 1
         for dest in message.dst:
             if dest == self.group_id:
@@ -111,67 +99,42 @@ class SkeenGroup(AtomicMulticastGroup):
                 dest,
                 SkeenTimestamp(
                     msg_id=message.msg_id,
-                    timestamp=self.clock,
+                    timestamp=local_timestamp,
                     from_group=self.group_id,
                 ),
             )
-        self._maybe_decide(entry)
         self._try_deliver()
 
     def _on_timestamp(self, envelope: SkeenTimestamp) -> None:
         self.stats["timestamps_received"] += 1
-        self.clock = max(self.clock, envelope.timestamp)
-        entry = self.pending.get(envelope.msg_id)
-        if entry is None:
-            if self.has_delivered(envelope.msg_id):
-                return
-            # The timestamp raced ahead of the client request (possible when a
-            # remote destination is closer to the client than we are).  Buffer
-            # it by creating a placeholder once the request arrives: we simply
-            # stash the proposal under a synthetic entry keyed by id.
-            self._early_proposals.setdefault(envelope.msg_id, {})[
-                envelope.from_group
-            ] = envelope.timestamp
+        if self.has_delivered(envelope.msg_id):
+            # Late duplicate for a delivered message: advance the clock
+            # (Lamport receive rule) without touching per-message state —
+            # the authority's entry was dropped at delivery (see
+            # _try_deliver), so observe() would re-buffer it as an early
+            # proposal that nothing ever cleans up.
+            self.authority.clock = max(self.authority.clock, envelope.timestamp)
             return
-        entry.proposals[envelope.from_group] = envelope.timestamp
-        self._maybe_decide(entry)
+        self.authority.observe(envelope.msg_id, envelope.from_group, envelope.timestamp)
         self._try_deliver()
-
-    def _maybe_decide(self, entry: _PendingSkeen) -> None:
-        # Merge any proposals that arrived before the request itself.
-        early = self._early_proposals.pop(entry.message.msg_id, None)
-        if early:
-            entry.proposals.update(early)
-        if entry.decided:
-            return
-        if set(entry.proposals) >= set(entry.message.dst):
-            entry.final_timestamp = max(entry.proposals.values())
-            self.clock = max(self.clock, entry.final_timestamp)
 
     def _try_deliver(self) -> None:
         """Deliver decided messages whose timestamp can no longer be undercut."""
-        progress = True
-        while progress and self.pending:
-            progress = False
-            candidate = min(self.pending.values(), key=_PendingSkeen.effective_timestamp)
-            if not candidate.decided:
-                break
-            # Every other pending message (decided or not) must have a larger
-            # effective timestamp, otherwise it could still be ordered first.
-            others = [
-                e for e in self.pending.values() if e.message.msg_id != candidate.message.msg_id
-            ]
-            if any(
-                e.effective_timestamp() <= candidate.effective_timestamp() for e in others
-            ):
-                break
-            del self.pending[candidate.message.msg_id]
-            self.deliver(candidate.message)
-            progress = True
+        while True:
+            msg_id = self.authority.next_deliverable()
+            if msg_id is None:
+                return
+            self.authority.complete(msg_id)
+            # The base class's delivered-record is this protocol's duplicate
+            # guard, so the authority's completed-memory is shed immediately
+            # and its state stays O(pending) for the group's lifetime
+            # (FlexCast, by contrast, sheds it on flush GC).
+            self.authority.forget((msg_id,))
+            self.deliver(self._messages.pop(msg_id))
 
     # --------------------------------------------------------------- inspection
     def pending_count(self) -> int:
-        return len(self.pending)
+        return self.authority.pending_count()
 
 
 class SkeenProtocol(AtomicMulticastProtocol):

@@ -37,6 +37,7 @@ from ..core.message import (
     FlexCastAck,
     FlexCastMsg,
     FlexCastNotif,
+    FlexCastTsPropose,
     QuiesceQuery,
     QuiesceReply,
 )
@@ -45,7 +46,12 @@ from ..overlay.cdag import CDagOverlay
 from ..protocols.base import DeliverySink
 from ..sim.transport import Transport
 
-#: Envelope kinds that carry an epoch stamp and participate in the protocol.
+#: Envelope kinds whose epoch stamp gates processing (rank-order dependent).
+#: :class:`FlexCastTsPropose` is deliberately absent: timestamp proposals
+#: depend only on a message's destination set, never on the overlay's rank
+#: order, so they are processed in every epoch state — while quiescing, from
+#: peers that already switched, and from stragglers that have not.  Bouncing
+#: or parking them would only delay the convoy drain the switch waits for.
 _EPOCH_STAMPED = (FlexCastMsg, FlexCastAck, FlexCastNotif)
 
 
@@ -59,8 +65,11 @@ class ReconfigurableFlexCastGroup(FlexCastGroup):
         transport: Transport,
         sink: DeliverySink,
         pivot_guard: bool = True,
+        hybrid: bool = False,
     ) -> None:
-        super().__init__(group_id, overlay, transport, sink, pivot_guard=pivot_guard)
+        super().__init__(
+            group_id, overlay, transport, sink, pivot_guard=pivot_guard, hybrid=hybrid
+        )
         #: True between EpochPrepare and EpochSwitch (client intake parked).
         self.quiescing = False
         #: The announced epoch barrier — the only flush intake stays open for.
@@ -95,6 +104,11 @@ class ReconfigurableFlexCastGroup(FlexCastGroup):
             return
         if isinstance(envelope, ClientRequest):
             self._on_request(sender, envelope)
+            return
+        if isinstance(envelope, FlexCastTsPropose):
+            # Rank-independent (see _EPOCH_STAMPED): processed unconditionally
+            # so convoy-blocked messages keep deciding while the drain runs.
+            super().on_envelope(sender, envelope)
             return
         if isinstance(envelope, _EPOCH_STAMPED):
             if envelope.epoch > self.epoch:
@@ -239,7 +253,12 @@ class ReconfigurableFlexCastProtocol(FlexCastProtocol):
         self, group_id: GroupId, transport: Transport, sink: DeliverySink
     ) -> ReconfigurableFlexCastGroup:
         return ReconfigurableFlexCastGroup(
-            group_id, self.overlay, transport, sink, pivot_guard=self.pivot_guard
+            group_id,
+            self.overlay,
+            transport,
+            sink,
+            pivot_guard=self.pivot_guard,
+            hybrid=self.hybrid,
         )
 
     def install_overlay(self, overlay: CDagOverlay) -> None:

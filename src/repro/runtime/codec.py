@@ -81,6 +81,7 @@ def _encode_envelope(envelope: Any) -> Dict[str, Any]:
             "history": _delta_to_dict(envelope.history),
             "notified": sorted(envelope.notified),
             "epoch": envelope.epoch,
+            "ts_proposals": [list(p) for p in envelope.ts_proposals],
         }
     if isinstance(envelope, msg.FlexCastAck):
         return {
@@ -89,6 +90,15 @@ def _encode_envelope(envelope: Any) -> Dict[str, Any]:
             "history": _delta_to_dict(envelope.history),
             "from_group": envelope.from_group,
             "notified": sorted(envelope.notified),
+            "epoch": envelope.epoch,
+            "ts_proposals": [list(p) for p in envelope.ts_proposals],
+        }
+    if isinstance(envelope, msg.FlexCastTsPropose):
+        return {
+            "type": "flexcast-ts-propose",
+            "message": _message_to_dict(envelope.message),
+            "timestamp": envelope.timestamp,
+            "from_group": envelope.from_group,
             "epoch": envelope.epoch,
         }
     if isinstance(envelope, msg.FlexCastNotif):
@@ -181,6 +191,9 @@ def _decode_envelope(data: Dict[str, Any]) -> Any:
             history=_delta_from_dict(data["history"]),
             notified=frozenset(data.get("notified", [])),
             epoch=data.get("epoch", 0),
+            ts_proposals=tuple(
+                (group, ts) for group, ts in data.get("ts_proposals", [])
+            ),
         )
     if env_type == "flexcast-ack":
         return msg.FlexCastAck(
@@ -188,6 +201,16 @@ def _decode_envelope(data: Dict[str, Any]) -> Any:
             history=_delta_from_dict(data["history"]),
             from_group=data["from_group"],
             notified=frozenset(data.get("notified", [])),
+            epoch=data.get("epoch", 0),
+            ts_proposals=tuple(
+                (group, ts) for group, ts in data.get("ts_proposals", [])
+            ),
+        )
+    if env_type == "flexcast-ts-propose":
+        return msg.FlexCastTsPropose(
+            message=_message_from_dict(data["message"]),
+            timestamp=data["timestamp"],
+            from_group=data["from_group"],
             epoch=data.get("epoch", 0),
         )
     if env_type == "flexcast-notif":

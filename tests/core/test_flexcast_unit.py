@@ -307,3 +307,68 @@ class TestFlexCastProtocol:
         protocol = FlexCastProtocol(overlay)
         group = protocol.create_group(A, RecordingTransport(A), RecordingSink())
         assert isinstance(group, FlexCastGroup)
+
+
+class TestForgottenDuplicates:
+    """A duplicated envelope that outlives the flush GC must be inert.
+
+    After GC prunes a delivered message, ``delivered_in_g`` no longer
+    remembers it — the history's forgotten-set is the only guard left, and
+    the enqueue paths must honour it or the duplicate is re-delivered (and,
+    in hybrid mode, could not even re-acquire a timestamp).
+    """
+
+    def _deliver_and_gc(self, group, ts=False):
+        proposals = {"m1": ((B, 1),), "f1": ((A, 5),)} if ts else {}
+        group.on_envelope(
+            B,
+            FlexCastMsg(
+                message=msg("m1", {B, C}),
+                history=EMPTY_DELTA,
+                ts_proposals=proposals.get("m1", ()),
+            ),
+        )
+        group.on_envelope(
+            A,
+            FlexCastMsg(
+                message=msg("f1", {A, C}, is_flush=True),
+                history=delta(
+                    [("m1", {B, C}), ("f1", {A, C})], edges=[("m1", "f1")]
+                ),
+                ts_proposals=proposals.get("f1", ()),
+            ),
+        )
+
+    def test_duplicate_of_gc_pruned_message_not_redelivered(self, overlay):
+        group, transport, sink = make_group(C, overlay)
+        self._deliver_and_gc(group)
+        assert sink.sequence(C) == ["m1", "f1"]
+        assert group.history.is_forgotten("m1")
+        # The duplicate arrives after the GC discarded delivered_in_g.
+        group.on_envelope(
+            B, FlexCastMsg(message=msg("m1", {B, C}), history=EMPTY_DELTA)
+        )
+        assert sink.sequence(C) == ["m1", "f1"]
+        assert all(size == 0 for size in group.queue_sizes().values())
+
+    def test_duplicate_of_gc_pruned_message_inert_in_hybrid_mode(self, overlay):
+        transport, sink = RecordingTransport(C), RecordingSink()
+        group = FlexCastGroup(C, overlay, transport, sink, hybrid=True)
+        self._deliver_and_gc(group, ts=True)
+        assert sink.sequence(C) == ["m1", "f1"]
+        assert group.history.is_forgotten("m1")
+        # Without the forgotten-id enqueue guard this would re-enqueue a
+        # message the authority refuses to re-propose, and the convoy gate
+        # would (correctly) refuse to pass it — crashing the run instead of
+        # absorbing the duplicate.
+        group.on_envelope(
+            B,
+            FlexCastMsg(
+                message=msg("m1", {B, C}),
+                history=EMPTY_DELTA,
+                ts_proposals=((B, 1),),
+            ),
+        )
+        assert sink.sequence(C) == ["m1", "f1"]
+        assert all(size == 0 for size in group.queue_sizes().values())
+        assert group.ts is not None and not group.ts.is_pending("m1")

@@ -118,3 +118,21 @@ class TestSkeenProtocol:
         group, _, _ = make_group(0, overlay)
         with pytest.raises(ProtocolError):
             group.on_envelope(1, object())
+
+
+class TestAuthorityHygiene:
+    def test_late_duplicate_after_delivery_leaves_no_state(self, overlay):
+        group, transport, sink = make_group(0, overlay)
+        group.on_client_request(msg("m1", {0, 1}))
+        group.on_envelope(1, SkeenTimestamp(msg_id="m1", timestamp=4, from_group=1))
+        assert sink.sequence(0) == ["m1"]
+        # The authority sheds per-message state at delivery (the group's own
+        # delivered-record is the duplicate guard), so a late duplicate only
+        # advances the clock — no pending entry, no early buffer, no
+        # completed-memory accumulating over the group's lifetime.
+        group.on_envelope(1, SkeenTimestamp(msg_id="m1", timestamp=9, from_group=1))
+        assert sink.sequence(0) == ["m1"]
+        assert group.authority.pending_count() == 0
+        assert not group.authority.is_completed("m1")
+        assert not group.authority.is_pending("m1")
+        assert group.clock >= 9

@@ -9,6 +9,7 @@ from repro.core.message import (
     FlexCastAck,
     FlexCastMsg,
     FlexCastNotif,
+    FlexCastTsPropose,
     HistoryDelta,
     Message,
     SkeenPropose,
@@ -69,6 +70,28 @@ class TestRoundTrips:
         notif = FlexCastNotif(message=sample_message(), history=EMPTY_DELTA, from_group=1)
         assert round_trip(ack) == ack
         assert round_trip(notif) == notif
+
+    def test_flexcast_ts_propose(self):
+        propose = FlexCastTsPropose(
+            message=sample_message(), timestamp=23, from_group=3, epoch=2
+        )
+        assert round_trip(propose) == propose
+
+    def test_piggybacked_ts_proposals_survive(self):
+        envelope = FlexCastMsg(
+            message=sample_message(),
+            history=sample_delta(),
+            notified=frozenset({2}),
+            ts_proposals=((1, 5), (3, 9)),
+        )
+        assert round_trip(envelope) == envelope
+        ack = FlexCastAck(
+            message=sample_message(),
+            history=EMPTY_DELTA,
+            from_group=3,
+            ts_proposals=((3, 9),),
+        )
+        assert round_trip(ack) == ack
 
     def test_skeen_envelopes(self):
         ts = SkeenTimestamp(msg_id="m42", timestamp=17, from_group=4)
