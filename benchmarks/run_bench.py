@@ -1,11 +1,13 @@
 #!/usr/bin/env python
 """Standalone micro-benchmark harness for the FlexCast core hot path.
 
-Times the four operations that dominate per-delivery cost — ``depends``,
-``diff_for``, ``merge_delta`` and a full lca delivery round — at several
-history sizes, and writes the op/sec numbers to ``BENCH_micro.json`` so the
-perf trajectory is tracked across PRs (see DESIGN.md for the before/after
-complexity table these numbers validate).
+Times the operations that dominate per-delivery cost — ``depends``,
+``diff_for``, ``merge_delta``, the full lca delivery round (plain, hybrid
+and batched) and a coordinator re-planning pass — at several history sizes,
+plus a throughput-vs-batch-size sweep, and writes the numbers to
+``BENCH_micro.json`` so the perf trajectory is tracked across PRs (see
+DESIGN.md for the complexity tables and amortization claims these numbers
+validate).
 
 Usage::
 
@@ -27,14 +29,14 @@ import subprocess
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.flexcast import FlexCastGroup  # noqa: E402
 from repro.core.history import History, HistoryDiffTracker  # noqa: E402
-from repro.core.message import FlexCastTsPropose, Message  # noqa: E402
+from repro.core.message import FlexCastBatch, FlexCastTsPropose, Message  # noqa: E402
 from repro.overlay.cdag import CDagOverlay  # noqa: E402
 from repro.protocols.base import RecordingSink  # noqa: E402
 from repro.reconfig.monitor import WorkloadMonitor  # noqa: E402
@@ -187,6 +189,48 @@ def bench_delivery_round_hybrid(size: int) -> Callable[[], None]:
     return op
 
 
+#: Window the batched delivery benchmark coalesces under (and the size the
+#: CI gate's >=2x-throughput claim is made at; see DESIGN.md "batching the
+#: delivery path").
+BATCH_WINDOW = 16
+
+
+def bench_delivery_round_batched(
+    size: int, batch: int = BATCH_WINDOW
+) -> Callable[[], None]:
+    """One steady-state lca delivery round fed by batches of ``batch``.
+
+    Same shape as ``delivery_round``, but each operation submits one
+    :class:`FlexCastBatch` of ``batch`` client messages: the group orders
+    the carrier once — one history vertex, one diff per destination, one
+    envelope per destination — and fans it out into ``batch`` application
+    deliveries.  Numbers are normalized to **messages**/sec (see
+    ``BENCH_SCALE``), so this benchmark is directly comparable to
+    ``delivery_round``: the ratio is the amortization batching buys on the
+    delivery hot path.
+    """
+    overlay = CDagOverlay(list(range(12)))
+    group = FlexCastGroup(0, overlay, RecordingTransport(0), RecordingSink())
+    dst = frozenset({0, 3, 7})
+    for i in range(size):
+        group.history.record_delivery(Message(msg_id=f"fill-{i}", dst=dst))
+    for dest in (3, 7):
+        group.diff_tracker.diff_for(dest, group.history)
+    counter = {"i": 0}
+
+    def op() -> None:
+        counter["i"] += 1
+        base = counter["i"] * batch
+        members = tuple(
+            Message(msg_id=f"bench-{base + j}", dst=dst) for j in range(batch)
+        )
+        carrier = Message.batch_of(members, batch_id=f"bench-batch-{counter['i']}")
+        group.on_envelope("client", FlexCastBatch(message=carrier))
+        assert carrier.msg_id in group.delivered_in_g
+
+    return op
+
+
 def bench_reconfig_plan(size: int) -> Callable[[], None]:
     """One coordinator re-planning pass with ``size`` observations in the
     window (12-region AWS geometry, Asia-shifted workload)."""
@@ -213,8 +257,68 @@ BENCHMARKS: Dict[str, Callable[[int], Callable[[], None]]] = {
     "merge_delta": bench_merge_delta,
     "delivery_round": bench_delivery_round,
     "delivery_round_hybrid": bench_delivery_round_hybrid,
+    "delivery_round_batched": bench_delivery_round_batched,
     "reconfig_plan": bench_reconfig_plan,
 }
+
+#: Application messages processed per measured operation.  ``_measure`` times
+#: operations; entries here rescale the report to messages/sec so batched and
+#: unbatched delivery benchmarks stay directly comparable.
+BENCH_SCALE: Dict[str, int] = {
+    "delivery_round_batched": BATCH_WINDOW,
+}
+
+
+def run_batch_sweep(
+    batch_sizes: List[int],
+    history_size: int,
+    repeat: int,
+    known: Optional[Dict[int, float]] = None,
+) -> Dict[str, object]:
+    """Throughput vs batch size at one history size (messages/sec).
+
+    Batch size 1 runs the plain (unbatched) delivery round — by the
+    bit-identity contract that *is* what a window of one executes — so the
+    per-entry ``speedup`` column reads as "×N over unbatched".  ``known``
+    maps windows to msgs/sec already measured elsewhere this run (the main
+    benchmark loop covers windows 1 and :data:`BATCH_WINDOW`), so those
+    cells are not timed twice.
+    """
+    known = known or {}
+    sweep: Dict[str, object] = {"history_size": history_size, "windows": {}}
+    windows: Dict[str, Dict[str, float]] = {}
+    # The speedup denominator is always the unbatched round, resolved up
+    # front so the column is correct whatever order (or subset) of windows
+    # the caller asked for.
+    base_msgs = known.get(1)
+    if base_msgs is None:
+        base_msgs = _measure(bench_delivery_round(history_size), repeat=repeat)[
+            "ops_per_sec"
+        ]
+    for batch in batch_sizes:
+        if batch <= 1:
+            msgs_per_sec = base_msgs
+        elif batch in known:
+            msgs_per_sec = known[batch]
+        else:
+            measurement = _measure(
+                bench_delivery_round_batched(history_size, batch=batch),
+                repeat=repeat,
+            )
+            msgs_per_sec = measurement["ops_per_sec"] * batch
+        windows[str(batch)] = {
+            "messages_per_sec": msgs_per_sec,
+            "speedup_vs_unbatched": (
+                msgs_per_sec / base_msgs if base_msgs > 0 else 0.0
+            ),
+        }
+        print(
+            f"batch_sweep |H|={history_size} window={batch:<3} "
+            f"{msgs_per_sec:>14,.0f} msg/s "
+            f"({windows[str(batch)]['speedup_vs_unbatched']:.2f}x)"
+        )
+    sweep["windows"] = windows
+    return sweep
 
 
 def provenance() -> Dict[str, object]:
@@ -323,8 +427,22 @@ def main(argv: List[str] | None = None) -> int:
     )
     parser.add_argument(
         "--gate",
-        default="diff_for,delivery_round,delivery_round_hybrid",
+        default="diff_for,delivery_round,delivery_round_hybrid,delivery_round_batched",
         help="comma-separated benchmarks the --compare gate checks "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--batch-sizes",
+        default="1,2,4,8,16,32",
+        help="batch windows for the throughput-vs-batch-size sweep "
+        "(empty to skip; default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-batch-speedup",
+        type=float,
+        default=2.0,
+        help="with --compare: fail unless delivery_round_batched is at least "
+        "this many times the delivery_round message throughput "
         "(default: %(default)s)",
     )
     parser.add_argument(
@@ -361,13 +479,37 @@ def main(argv: List[str] | None = None) -> int:
     results: Dict[str, Dict[str, Dict[str, float]]] = {}
     for name, factory in BENCHMARKS.items():
         results[name] = {}
+        scale = BENCH_SCALE.get(name, 1)
         for size in sizes:
             measurement = _measure(factory(size), repeat=args.repeat)
+            if scale != 1:
+                # Normalize to application messages/sec (one measured op
+                # processes a whole batch).
+                measurement["ops_per_sec"] *= scale
+                measurement["seconds_per_op"] /= scale
+                measurement["messages_per_op"] = scale
             results[name][str(size)] = measurement
+            unit = "msg/s" if scale != 1 else "op/s"
             print(
-                f"{name:>16} |H|={size:<6} {measurement['ops_per_sec']:>14,.0f} op/s"
+                f"{name:>22} |H|={size:<6} "
+                f"{measurement['ops_per_sec']:>14,.0f} {unit}"
             )
     report["benchmarks"] = results
+
+    batch_sizes = [int(b) for b in args.batch_sizes.split(",") if b.strip()]
+    if batch_sizes:
+        sweep_size = 1000 if 1000 in sizes else sizes[-1]
+        known: Dict[int, float] = {}
+        plain = results["delivery_round"].get(str(sweep_size))
+        if plain is not None:
+            known[1] = float(plain["ops_per_sec"])
+        batched = results["delivery_round_batched"].get(str(sweep_size))
+        if batched is not None:
+            # Already scaled to msgs/sec by BENCH_SCALE above.
+            known[BATCH_WINDOW] = float(batched["ops_per_sec"])
+        report["batch_sweep"] = run_batch_sweep(
+            batch_sizes, history_size=sweep_size, repeat=args.repeat, known=known
+        )
 
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2)
@@ -379,6 +521,23 @@ def main(argv: List[str] | None = None) -> int:
         failures = compare_against_baseline(
             report, args.compare, gate, args.max_slowdown
         )
+        # The batching claim is part of the gate: batched delivery must keep
+        # its >=2x message-throughput edge over the unbatched round.
+        if args.min_batch_speedup > 0:
+            plain = results.get("delivery_round", {})
+            batched = results.get("delivery_round_batched", {})
+            for size in plain:
+                if size not in batched:
+                    continue
+                plain_ops = float(plain[size]["ops_per_sec"])
+                batched_ops = float(batched[size]["ops_per_sec"])
+                if plain_ops > 0 and batched_ops < args.min_batch_speedup * plain_ops:
+                    failures.append(
+                        f"delivery_round_batched |H|={size}: "
+                        f"{batched_ops:,.0f} msg/s is below "
+                        f"{args.min_batch_speedup:.1f}x delivery_round "
+                        f"({plain_ops:,.0f} msg/s)"
+                    )
         if failures:
             print(f"REGRESSION GATE FAILED vs {args.compare}:")
             for failure in failures:

@@ -4,6 +4,8 @@ The public API is intentionally small; most users need only:
 
 * :class:`repro.core.FlexCastProtocol` (and the baselines in :mod:`repro.protocols`),
 * an overlay from :mod:`repro.overlay` (``build_o1`` et al.),
+* :class:`repro.core.BatchingClient` to amortize envelope overhead under
+  heavy traffic (size/time-window submission batching),
 * :func:`repro.experiments.run_experiment` with an
   :class:`repro.experiments.ExperimentConfig` to reproduce the paper's
   experiments, or
@@ -12,6 +14,7 @@ The public API is intentionally small; most users need only:
 See README.md for a quickstart and DESIGN.md for the full system inventory.
 """
 
+from .core.batching import BatchingClient
 from .core.flexcast import FlexCastGroup, FlexCastProtocol
 from .core.message import Message
 from .experiments.config import ExperimentConfig
@@ -34,6 +37,7 @@ from .sim.latencies import aws_latency_matrix
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchingClient",
     "FlexCastGroup",
     "FlexCastProtocol",
     "Message",

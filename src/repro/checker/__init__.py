@@ -1,4 +1,17 @@
-"""Correctness checking of atomic multicast traces."""
+"""Correctness checking of atomic multicast traces.
+
+What lives here: oracle functions over recorded delivery traces.  The main
+entry point is :func:`check_trace` (integrity, validity/agreement, prefix
+and acyclic order — returning a :class:`CheckReport` of
+:class:`Violation`\\ s with concrete cycle witnesses), complemented by
+:func:`check_sequential_replay` (state-level divergence, the form
+applications see ordering bugs in), :func:`conservation_check`
+(exactly-once effect accounting), :func:`check_epochs` (epoch-boundary
+safety during live reconfiguration) and :func:`check_genuineness`.  The
+fuzz harness (:mod:`repro.fuzz.harness`) runs the whole suite on every
+scenario; batched runs are split into per-message deliveries by the
+delivery gate before these oracles ever see them.
+"""
 
 from .properties import (
     CheckReport,

@@ -1,5 +1,14 @@
-"""FlexCast core: messages, histories, the protocol itself, GC and clients."""
+"""FlexCast core: messages, histories, the protocol itself, GC, clients and batching.
 
+Main entry points: :class:`FlexCastProtocol` (deploy the protocol on a C-DAG
+overlay, optionally with ``hybrid=True`` for the Skeen-timestamp ordering
+authority), :class:`Message` (the application multicast unit),
+:class:`MulticastClient` / :class:`BatchingClient` (submission + response
+tracking, unbatched and window-coalesced), and :class:`FlushCoordinator`
+(periodic garbage-collection flush multicasts).
+"""
+
+from .batching import BatchingClient
 from .client import MulticastCall, MulticastClient
 from .flexcast import FlexCastGroup, FlexCastProtocol, PendingMessage
 from .garbage import FlushCoordinator
@@ -10,6 +19,7 @@ from .message import (
     EMPTY_DELTA,
     Envelope,
     FlexCastAck,
+    FlexCastBatch,
     FlexCastMsg,
     FlexCastNotif,
     HistoryDelta,
@@ -23,6 +33,7 @@ from .message import (
 )
 
 __all__ = [
+    "BatchingClient",
     "MulticastCall",
     "MulticastClient",
     "FlexCastGroup",
@@ -36,6 +47,7 @@ __all__ = [
     "EMPTY_DELTA",
     "Envelope",
     "FlexCastAck",
+    "FlexCastBatch",
     "FlexCastMsg",
     "FlexCastNotif",
     "HistoryDelta",

@@ -93,8 +93,22 @@ class MulticastClient:
 
     def submit(self, message: Message) -> None:
         """Submit an already-built message to the protocol's entry group(s)."""
+        self._track(message)
+        self._dispatch(message)
+
+    def _track(self, message: Message) -> MulticastCall:
+        """Start tracking responses for ``message`` (submission time = now)."""
         call = MulticastCall(message=message, submitted_at=self._clock())
         self.inflight[message.msg_id] = call
+        return call
+
+    def _dispatch(self, message: Message) -> None:
+        """Ship ``message`` to its entry group(s) as one client request.
+
+        Split out from :meth:`submit` so subclasses can change *when and in
+        what envelope* a tracked message reaches the protocol — the batching
+        client (:class:`repro.core.batching.BatchingClient`) buffers here.
+        """
         request = ClientRequest(message=message)
         for entry in self._protocol.entry_groups(message):
             self._send_request(entry, request)

@@ -38,6 +38,17 @@ timestamp-free protocol.  See DESIGN.md "hybrid Skeen-timestamp ordering
 authority" for the argument and the overhead trade-off (the paper's convoy
 effect, §5).
 
+Also on top of the paper's protocol: **batch carriers**.  A client may
+coalesce same-destination submissions into one ordering unit
+(:meth:`~repro.core.message.Message.batch_of`, shipped as a
+:class:`~repro.core.message.FlexCastBatch` request by
+:class:`~repro.core.batching.BatchingClient`).  The carrier flows through
+every rule below as a single message — one pivot, one hybrid timestamp
+convoy, one history vertex, one msg/ack per destination — and
+:meth:`FlexCastGroup.a_deliver` fans it out into per-member application
+deliveries, so batching amortizes envelope overhead without touching the
+ordering logic (DESIGN.md "batching the delivery path").
+
 The implementation below follows the paper's pseudo-code closely; method names
 echo the pseudo-code (``can_deliver`` = ``can-deliver``, ``reprocess_queues``
 = ``reprocess-queues``, …) to keep the correspondence auditable.
@@ -154,6 +165,13 @@ class FlexCastGroup(AtomicMulticastGroup):
         self.queues[group_id] = deque()
         #: Per-message protocol state (acks received, notified groups).
         self.pending: Dict[str, PendingMessage] = {}
+        #: member id -> carrier id for every batch this group knows of.
+        #: Lets the enqueue guard absorb a client retrying one *member* as a
+        #: plain request while its batch is still in flight (the member has
+        #: no pending entry or history vertex of its own, so none of the
+        #: other guards can see it).  Lifecycle mirrors :attr:`pending`:
+        #: populated when a carrier's entry is created, pruned with it by GC.
+        self._batch_members: Dict[str, str] = {}
         #: Notifications waiting for open dependencies (``pendNotif``).
         self.pending_notifications: List[PendingNotification] = []
         #: ``diff-hst`` bookkeeping per descendant.
@@ -236,7 +254,23 @@ class FlexCastGroup(AtomicMulticastGroup):
         if entry is None:
             entry = PendingMessage(message=message)
             self.pending[message.msg_id] = entry
+            for member in message.members:
+                self._batch_members[member.msg_id] = message.msg_id
         return entry
+
+    def _discard_created_entry(self, message: Message) -> None:
+        """Undo a :meth:`_pending_for` side effect for an absorbed arrival.
+
+        An envelope for a *resolved* id (delivered batch member, GC'd
+        message) must not leave behind the pending entry — and, for a batch
+        carrier, the member-index entries — that were created just to
+        evaluate the enqueue guard: resolved ids never re-enter the
+        history, so no future GC pass could ever prune that state, and it
+        would leak for the lifetime of the group.
+        """
+        self.pending.pop(message.msg_id, None)
+        for member in message.members:
+            self._batch_members.pop(member.msg_id, None)
 
     def _may_enqueue(self, entry: "PendingMessage", message: Message) -> bool:
         """Single gate every enqueue path must pass (``_on_msg``,
@@ -249,10 +283,22 @@ class FlexCastGroup(AtomicMulticastGroup):
         and in hybrid mode it could not even re-acquire a timestamp
         (``_acquire_timestamp`` refuses forgotten ids), leaving the convoy
         gate to trip on a queued message with no timestamp entry.
+
+        The ``has_delivered`` and ``_batch_members`` clauses cover ids
+        neither set above tracks: a batch *member* has no pending entry or
+        history vertex of its own (only its carrier does), so a client
+        retrying one member as a plain request — after the batch delivered
+        (permanent delivery record) or while it is still in flight (the
+        member index) — must be absorbed here, exactly the idempotent
+        re-submission contract unbatched messages already have.  Without
+        the in-flight clause the retry would be ordered as a second unit
+        and the later carrier fan-out would break batch atomicity.
         """
         return (
             not entry.enqueued
             and message.msg_id not in self.delivered_in_g
+            and not self.has_delivered(message.msg_id)
+            and message.msg_id not in self._batch_members
             and not self.history.is_forgotten(message.msg_id)
         )
 
@@ -346,11 +392,14 @@ class FlexCastGroup(AtomicMulticastGroup):
         self._acquire_timestamp(message)
         self._observe_proposals(message, envelope.ts_proposals)
         self._merge_history(envelope.history)
+        created = message.msg_id not in self.pending
         entry = self._pending_for(message)
         entry.notified.update(envelope.notified)
         if self._may_enqueue(entry, message):
             self.queues[self.lca_of(message)].append(message)
             entry.enqueued = True
+        elif created:
+            self._discard_created_entry(message)
         self._mark_queue_dirty(self.lca_of(message))
         self.reprocess_queues()
 
@@ -361,9 +410,19 @@ class FlexCastGroup(AtomicMulticastGroup):
         self._acquire_timestamp(message)
         self._observe_proposals(message, envelope.ts_proposals)
         self._merge_history(envelope.history)
+        created = message.msg_id not in self.pending
         entry = self._pending_for(message)
         entry.acks.add(envelope.from_group)
         entry.notified.update(envelope.notified)
+        if created and (
+            self.has_delivered(message.msg_id)
+            or self.history.is_forgotten(message.msg_id)
+        ):
+            # A late/duplicated ack for a message this group already
+            # resolved (possibly GC'd): the entry just created can serve
+            # no future delivery and — resolved ids never re-enter the
+            # history — no GC pass would ever prune it.
+            self._discard_created_entry(message)
         # _merge_history marked all queues dirty; the ack additionally
         # relaxes this message's own ack-wait condition.
         self._mark_queue_dirty(self.lca_of(message))
@@ -501,12 +560,23 @@ class FlexCastGroup(AtomicMulticastGroup):
         slot it before an in-flight message that this group already knows
         precedes a notif pivot, retroactively invalidating an ack it has
         sent.
+
+        The timestamp is acquired only for messages that actually enter the
+        queue.  For every absorbed duplicate the acquisition was a no-op
+        anyway (the authority refuses duplicate proposals; delivered and
+        forgotten ids are rejected up front) — except a retried batch
+        *member*, a fresh id that will never be delivered as its own unit:
+        proposing for it would park an undeliverable entry at the convoy
+        gate's head and stall every later global message.
         """
-        self._acquire_timestamp(message)
+        created = message.msg_id not in self.pending
         entry = self._pending_for(message)
         if self._may_enqueue(entry, message):
+            self._acquire_timestamp(message)
             self.queues[self.group_id].append(message)
             entry.enqueued = True
+        elif created:
+            self._discard_created_entry(message)
         self._mark_queue_dirty(self.group_id)
         self.reprocess_queues()
 
@@ -535,7 +605,31 @@ class FlexCastGroup(AtomicMulticastGroup):
         self._guard_exempt.discard(message.msg_id)
         self._dep_cache.pop(message.msg_id, None)
         self._dep_epoch += 1
-        self.deliver(message)
+        if message.members:
+            # Batch fan-out: the carrier was ordered as one unit (one pivot,
+            # one timestamp, one history vertex); the application observes
+            # its members, delivered back-to-back in submission order.  The
+            # fan-out is atomic within this event, so a group delivers a
+            # batch all-or-nothing — a lost batch degrades exactly like N
+            # lost messages, never into a partial delivery.
+            for member in message.members:
+                # The delivered-guard is unreachable for compliant clients
+                # (the enqueue guard's member index absorbs retries before
+                # they can be ordered solo, so the fuzz oracle rightly
+                # treats any non-contiguous batch as a violation).  It is
+                # defense in depth against a *non-compliant* client that
+                # submits a member both solo and inside a batch: contiguity
+                # is already forfeit there, and integrity (deliver-once)
+                # must win over crashing the group.
+                if not self.has_delivered(member.msg_id):
+                    self.deliver(member)
+            # Integrity bookkeeping for the carrier id itself: re-submitted
+            # or bounced duplicates of the batch check `has_delivered`
+            # against it, and it must survive the flush GC (which prunes
+            # `delivered_in_g`) the way any delivered id does.
+            self._delivered_ids.add(message.msg_id)
+        else:
+            self.deliver(message)
 
         queue = self.queues.get(self.lca_of(message))
         if queue and queue[0].msg_id == message.msg_id:
@@ -980,6 +1074,15 @@ class FlexCastGroup(AtomicMulticastGroup):
             self.delivered_in_g.discard(victim)
             self._dep_cache.pop(victim, None)
             self._pivot_anc_cache.pop(victim, None)
+        if self._batch_members:
+            # Member index entries live exactly as long as their carrier's
+            # pending entry; retries of a pruned batch's members are still
+            # absorbed by the permanent delivery record / forgotten set.
+            self._batch_members = {
+                member: carrier
+                for member, carrier in self._batch_members.items()
+                if carrier not in victims
+            }
         self.stats["gc_pruned"] += len(victims)
         self.stats["journal_compacted"] += compacted
 

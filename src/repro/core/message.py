@@ -13,6 +13,16 @@ Two layers of "message" exist in this codebase, mirroring the paper:
   (Skeen), tree forwards (hierarchical), plus client requests and responses.
   Every envelope knows its serialized size (``size_bytes``), which feeds the
   traffic accounting behind Figure 8 and the overhead figures.
+
+A third, optional shape sits between the two: a **batch**.  A
+:class:`Message` whose :attr:`Message.members` tuple is non-empty is a
+*batch carrier* — an ordering unit that stands in for N same-destination
+application messages (built with :meth:`Message.batch_of`, submitted with a
+:class:`FlexCastBatch` envelope).  The protocol orders the carrier exactly
+like any other message — one pivot, one Skeen-timestamp convoy, one
+msg/ack round, one history vertex — and the delivery gate fans it out into
+per-member application deliveries (see DESIGN.md "batching the delivery
+path").
 """
 
 from __future__ import annotations
@@ -68,6 +78,12 @@ class Message:
         declare realistic sizes without materialising the bytes).
     is_flush:
         True for the distinguished garbage-collection messages (§4.3).
+    members:
+        Empty for ordinary messages.  Non-empty makes this message a *batch
+        carrier*: an ordering unit standing in for the member messages (all
+        sharing this carrier's destination set).  The protocol orders the
+        carrier; the delivery gate fans it out into per-member deliveries,
+        so members — never the carrier — are what applications observe.
     """
 
     msg_id: str
@@ -76,6 +92,7 @@ class Message:
     payload: Any = None
     payload_bytes: int = 64
     is_flush: bool = False
+    members: Tuple["Message", ...] = ()
 
     @staticmethod
     def create(
@@ -99,6 +116,43 @@ class Message:
             is_flush=is_flush,
         )
 
+    @staticmethod
+    def batch_of(
+        messages: Iterable["Message"],
+        batch_id: Optional[str] = None,
+    ) -> "Message":
+        """Build a batch carrier standing in for ``messages``.
+
+        Every member must share one destination set (the window key the
+        batching client coalesces under), must not be a flush (flushes are
+        GC ordering barriers and are never delayed or coalesced), and must
+        not itself be a batch (no nesting: one fan-out level keeps the
+        delivery gate and the oracles trivially per-message).
+        """
+        members = tuple(messages)
+        if not members:
+            raise ValueError("a batch needs at least one member message")
+        dst = members[0].dst
+        for member in members:
+            if member.dst != dst:
+                raise ValueError(
+                    f"batch members must share one destination set: "
+                    f"{sorted(member.dst)} != {sorted(dst)}"
+                )
+            if member.is_flush:
+                raise ValueError(f"flush message {member.msg_id} cannot be batched")
+            if member.members:
+                raise ValueError(f"batch {member.msg_id} cannot be nested in a batch")
+        return Message(
+            msg_id=batch_id if batch_id is not None else fresh_message_id("b"),
+            dst=dst,
+            sender=members[0].sender,
+            payload=None,
+            payload_bytes=sum(m.payload_bytes for m in members),
+            is_flush=False,
+            members=members,
+        )
+
     @property
     def is_local(self) -> bool:
         """True iff the message is addressed to a single group."""
@@ -109,15 +163,27 @@ class Message:
         """True iff the message is addressed to two or more groups."""
         return len(self.dst) > 1
 
+    @property
+    def is_batch(self) -> bool:
+        """True iff this message is a batch carrier (see :meth:`batch_of`)."""
+        return bool(self.members)
+
     def size_bytes(self) -> int:
-        """Serialized size of the bare message (no protocol metadata)."""
-        return (
-            _MSG_ID_BYTES
-            + len(self.dst) * _GROUP_ID_BYTES
-            + self.payload_bytes
-        )
+        """Serialized size of the bare message (no protocol metadata).
+
+        A batch carrier ships its destination set once and each member as
+        ``id + payload`` — the amortization the batching layer exists for.
+        """
+        base = _MSG_ID_BYTES + len(self.dst) * _GROUP_ID_BYTES
+        if self.members:
+            return base + sum(
+                _MSG_ID_BYTES + member.payload_bytes for member in self.members
+            )
+        return base + self.payload_bytes
 
     def __repr__(self) -> str:  # compact, test-friendly
+        if self.members:
+            return f"<batch {self.msg_id} n={len(self.members)} dst={sorted(self.dst)}>"
         kind = "flush" if self.is_flush else "msg"
         return f"<{kind} {self.msg_id} dst={sorted(self.dst)}>"
 
@@ -179,6 +245,26 @@ class ClientRequest(Envelope):
 
     def size_bytes(self) -> int:
         return _HEADER_BYTES + self.message.size_bytes()
+
+
+@dataclass(frozen=True)
+class FlexCastBatch(ClientRequest):
+    """Client -> lca: a coalesced window of same-destination messages.
+
+    The envelope's :attr:`message` is a batch *carrier*
+    (:meth:`Message.batch_of`): one ordering unit standing in for N member
+    messages that share a destination set.  Because a batch enters the
+    protocol exactly where a client request does — at the lca of its
+    destination set — this envelope *is* a :class:`ClientRequest` (the
+    subclass only changes the wire ``kind`` and lets the traffic accounting
+    attribute the batched payload bytes): every request-handling path
+    (submission validation, reconfiguration parking/re-routing, idempotent
+    re-submission) applies to batches with no further dispatch.  The
+    delivery gate fans the carrier out into per-member deliveries, so the
+    batch boundary is invisible to applications and to the checker.
+    """
+
+    kind: str = field(default="batch", init=False)
 
 
 @dataclass(frozen=True)
@@ -469,5 +555,6 @@ class TreeForward(Envelope):
 
 
 #: Envelope kinds that carry the application payload.  Communication overhead
-#: (Figures 1 and 9) is defined over payload messages only.
-PAYLOAD_KINDS = frozenset({"request", "msg"})
+#: (Figures 1 and 9) is defined over payload messages only.  ``batch`` is the
+#: coalesced form of ``request``: one envelope carrying N member payloads.
+PAYLOAD_KINDS = frozenset({"request", "msg", "batch"})

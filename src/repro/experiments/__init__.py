@@ -1,4 +1,14 @@
-"""Evaluation harness: configurations, runner and figure regeneration."""
+"""Evaluation harness: configurations, runner and figure regeneration.
+
+What lives here: the paper's experiment matrix as data.  The main entry
+points are :class:`ExperimentConfig` (one fully specified run: protocol,
+overlay, workload, scale) with the :func:`flexcast_config` /
+:func:`distributed_config` / :func:`hierarchical_config` builders,
+:func:`run_experiment` (deploy on the simulator, drive closed-loop
+clients, return an :class:`ExperimentResult`), and :func:`run_all` /
+``ALL_FIGURES`` in :mod:`~repro.experiments.figures` to regenerate every
+figure/table at reduced scale.
+"""
 
 from .config import (
     ExperimentConfig,

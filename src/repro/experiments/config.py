@@ -9,8 +9,8 @@ experiments to code is explicit and auditable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from dataclasses import dataclass, replace
+from typing import Optional
 
 #: Protocol identifiers accepted by the runner.
 PROTOCOL_FLEXCAST = "flexcast"

@@ -9,7 +9,7 @@ the paper (for EXPERIMENTS.md and the console).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from ..metrics.collector import NodeTrafficReport, traffic_report
 from ..metrics.overhead import OverheadReport
@@ -19,9 +19,8 @@ from ..metrics.report import (
     format_throughput_series,
     format_traffic_report,
 )
-from ..overlay.builders import build_o1, standard_overlays
+from ..overlay.builders import build_o1
 from ..sim.latencies import aws_latency_matrix
-from .config import ExperimentConfig
 from .runner import ExperimentResult, run_experiment
 from .scenarios import (
     DEFAULT_SCALE,

@@ -11,7 +11,8 @@ machine-driven state-space sweep, in the spirit of the CADP line of work:
   duplication/loss via ``Network.set_drop_filter``, leader crashes via
   ``ReplicatedGroup``, mid-run reconfiguration epochs);
 * :mod:`~repro.fuzz.harness` — runs a scenario on the simulator and checks
-  the full property suite plus the sequential-replay oracle;
+  the full property suite plus the sequential-replay oracle (and, for
+  batched scenarios, the batch-atomicity oracle);
 * :mod:`~repro.fuzz.shrink` — ddmin-style reduction of failing scenarios to
   minimal, checked-in regression schedules;
 * :mod:`~repro.fuzz.sweep` — the multi-seed, multi-profile sweep runner and

@@ -12,7 +12,13 @@ then runs the *full* oracle suite over the captured trace:
 * :func:`repro.checker.conservation_check` — exactly-once effect accounting;
 * :func:`repro.checker.check_epochs` — epoch monotonic/agreement/barrier
   properties when the scenario reconfigures;
-* replica agreement / post-fail-over delivery for crash scenarios.
+* replica agreement / post-fail-over delivery for crash scenarios;
+* batch atomicity when the scenario batches (``batch_window`` > 1): the
+  delivery gate splits every batch into per-member deliveries *before* the
+  oracles run, so all of the above apply unchanged, and an additional check
+  pins the batching contract itself — per group, a batch is delivered
+  all-or-nothing, contiguously, in member order (a dropped batch degrades
+  exactly like N dropped messages).
 
 Every run is a pure function of the scenario, so a failing scenario can be
 shrunk (:mod:`repro.fuzz.shrink`) and committed as a regression schedule.
@@ -25,6 +31,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 from ..checker.properties import check_epochs, check_trace
 from ..checker.replay import check_sequential_replay, conservation_check
+from ..core.batching import BatchingClient
 from ..core.flexcast import FlexCastProtocol
 from ..core.message import ClientRequest, Message
 from ..overlay.base import GroupId
@@ -80,6 +87,10 @@ class FuzzResult:
     events: int = 0
     #: Per-group delivery sequences (msg ids), for diagnosis and tests.
     sequences: Dict[Hashable, List[str]] = field(default_factory=dict)
+    #: Batches the client shipped: ``(batch_id, member msg_ids)`` in send
+    #: order (empty when the scenario runs unbatched).  Input to the
+    #: batch-atomicity oracle and to tests.
+    batches: List[Tuple[str, Tuple[str, ...]]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -158,22 +169,76 @@ def run_scenario(
     scenario: FuzzScenario,
     pivot_guard: bool = True,
     hybrid: Optional[bool] = None,
+    use_batching_client: bool = False,
 ) -> FuzzResult:
     """Execute ``scenario`` deterministically and return the checked result.
 
     ``hybrid=None`` (the default) follows the scenario's own ``hybrid``
     field; an explicit ``True``/``False`` overrides it (the sweep's hybrid
-    on/off axis).
+    on/off axis).  ``use_batching_client`` forces submissions through a
+    :class:`~repro.core.batching.BatchingClient` even when the scenario's
+    ``batch_window`` is 1 — the differential equivalence tests use this to
+    pin that a window of one is bit-identical to the unbatched client.
     """
     if hybrid is None:
         hybrid = scenario.hybrid
     if scenario.replication_factor > 1:
         return _run_replicated(scenario, pivot_guard, hybrid)
-    return _run_flexcast(scenario, pivot_guard, hybrid)
+    return _run_flexcast(scenario, pivot_guard, hybrid, use_batching_client)
+
+
+# ----------------------------------------------------------- batch atomicity
+def _check_batch_atomicity(
+    sequences: Dict[GroupId, List[str]],
+    batches: List[Tuple[str, Tuple[str, ...]]],
+) -> List[str]:
+    """The batching contract: per group, a batch is all-or-nothing.
+
+    The delivery gate fans a batch carrier out atomically, so every group
+    either delivers *all* members — contiguously, in member order — or none
+    of them (e.g. the batch envelope was dropped on the way to that group's
+    msg path).  A partial, reordered or interleaved batch means the carrier
+    stopped being one ordering unit somewhere, which is exactly the failure
+    mode batching must never introduce.  This holds unconditionally for the
+    harness's (compliant) client: each message belongs to exactly one
+    ordering unit, and in-flight member retries are absorbed by the enqueue
+    guard — the gate's deliver-once fallback for *non-compliant* duplicate
+    submissions is unreachable here, so any finding is a genuine bug.
+    """
+    violations: List[str] = []
+    for batch_id, members in batches:
+        member_set = set(members)
+        for gid, seq in sequences.items():
+            positions = [i for i, mid in enumerate(seq) if mid in member_set]
+            if not positions:
+                continue  # the "nothing" arm: dropped batch = N dropped messages
+            delivered = [seq[i] for i in positions]
+            if len(positions) != len(members):
+                violations.append(
+                    f"[batch-atomicity] group {gid} delivered "
+                    f"{len(positions)}/{len(members)} members of batch "
+                    f"{batch_id} — partial batch delivery"
+                )
+            elif delivered != list(members):
+                violations.append(
+                    f"[batch-atomicity] group {gid} delivered batch "
+                    f"{batch_id} members out of batch order: {delivered}"
+                )
+            elif positions != list(range(positions[0], positions[0] + len(members))):
+                violations.append(
+                    f"[batch-atomicity] group {gid} interleaved other "
+                    f"deliveries inside batch {batch_id}"
+                )
+    return violations
 
 
 # ------------------------------------------------------------------ flexcast
-def _run_flexcast(scenario: FuzzScenario, pivot_guard: bool, hybrid: bool) -> FuzzResult:
+def _run_flexcast(
+    scenario: FuzzScenario,
+    pivot_guard: bool,
+    hybrid: bool,
+    use_batching_client: bool = False,
+) -> FuzzResult:
     loop = EventLoop()
     latencies = _latency_matrix(scenario)
     network = Network(
@@ -236,6 +301,18 @@ def _run_flexcast(scenario: FuzzScenario, pivot_guard: bool, hybrid: bool) -> Fu
             )
         )
 
+    batcher: Optional[BatchingClient] = None
+    if use_batching_client or scenario.batch_window > 1:
+        batcher = BatchingClient(
+            CLIENT,
+            protocol,
+            send_request=lambda gid, envelope: network.send(CLIENT, gid, envelope),
+            clock=lambda: loop.now,
+            max_batch=scenario.batch_window,
+            max_delay_ms=scenario.batch_delay_ms,
+            schedule=loop.schedule,
+        )
+
     submissions = list(scenario.submissions) + _flush_submissions(scenario)
     messages: Dict[str, Message] = {}
     tiebreak: Dict[str, int] = {}
@@ -252,8 +329,11 @@ def _run_flexcast(scenario: FuzzScenario, pivot_guard: bool, hybrid: bool) -> Fu
         tiebreak[message.msg_id] = index
 
         def submit(message=message):
-            entry = protocol.entry_groups(message)[0]
-            network.send(CLIENT, entry, ClientRequest(message=message))
+            if batcher is not None:
+                batcher.submit(message)
+            else:
+                entry = protocol.entry_groups(message)[0]
+                network.send(CLIENT, entry, ClientRequest(message=message))
 
         loop.schedule_at(sub.at_ms, submit)
 
@@ -272,6 +352,16 @@ def _run_flexcast(scenario: FuzzScenario, pivot_guard: bool, hybrid: bool) -> Fu
     sequences = {gid: sink.sequence(gid) for gid in scenario.order}
     result.sequences = sequences
     result.delivered = sum(len(s) for s in sequences.values())
+
+    if batcher is not None:
+        # The gate fans batches out into per-member deliveries, so the
+        # sequences the standard oracle suite below sees are already
+        # per-message — every existing invariant applies unchanged.  The
+        # batching layer adds exactly one new obligation, checked here.
+        result.batches = list(batcher.batch_log)
+        result.violations.extend(
+            _check_batch_atomicity(sequences, batcher.batch_log)
+        )
 
     expect_all = scenario.expect_all_delivered
     report = check_trace(sink, messages.values(), expect_all_delivered=expect_all)

@@ -26,7 +26,13 @@ import random
 from dataclasses import replace
 from typing import Any, Callable, Optional
 
-from ..core.message import FlexCastAck, FlexCastMsg, FlexCastNotif, FlexCastTsPropose
+from ..core.message import (
+    FlexCastAck,
+    FlexCastBatch,
+    FlexCastMsg,
+    FlexCastNotif,
+    FlexCastTsPropose,
+)
 from .scenario import Crash, FuzzScenario, Reconfig
 
 PROFILES = ("none", "dup", "loss", "crash", "reconfig")
@@ -38,9 +44,14 @@ PROFILES = ("none", "dup", "loss", "crash", "reconfig")
 #: entire convoy — every later global message at that destination stalls
 #: behind the undecided entry, so loss runs would degenerate into checking
 #: ever-emptier delivery prefixes instead of exploring msg/ack/notif loss.
-#: Non-hybrid runs never emit proposals, so the seeded fault schedule of
-#: existing scenarios is unchanged in both modes.
-_DROPPABLE_ENVELOPES = (FlexCastMsg, FlexCastAck, FlexCastNotif)
+#: Batch submissions (client -> lca) are both droppable and duplicable: a
+#: dropped batch must degrade exactly like N dropped messages (all-or-
+#: nothing, checked by the harness's batch-atomicity oracle) and a
+#: duplicated one must be absorbed once, like any re-submitted request.
+#: Plain ClientRequests stay exempt, so the seeded fault schedule of every
+#: pre-batching scenario is unchanged; batch envelopes only exist when a
+#: scenario's ``batch_window`` > 1.
+_DROPPABLE_ENVELOPES = (FlexCastMsg, FlexCastAck, FlexCastNotif, FlexCastBatch)
 _DUPLICABLE_ENVELOPES = _DROPPABLE_ENVELOPES + (FlexCastTsPropose,)
 
 

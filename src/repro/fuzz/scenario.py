@@ -15,9 +15,9 @@ Scenarios serialize to plain JSON (``to_dict`` / ``from_dict`` /
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import asdict, dataclass, replace
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..overlay.base import GroupId
 
@@ -78,6 +78,15 @@ class FuzzScenario:
     #: harness promotes ``acyclic-order`` findings (and their replay/prefix
     #: shadows) from reported anomalies to hard violations.
     hybrid: bool = False
+    #: Client-side batching window (repro.core.batching.BatchingClient):
+    #: same-destination submissions are coalesced up to this many per
+    #: FlexCastBatch.  ``1`` (the default, and the value every pre-batching
+    #: schedule deserializes to) disables batching — behaviour is then
+    #: bit-identical to the unbatched client.  Ignored by crash-profile
+    #: (SMR) runs, which exercise the replication layer's own path.
+    batch_window: int = 1
+    #: Time trigger closing a partially filled batch window (virtual ms).
+    batch_delay_ms: float = 5.0
 
     # ------------------------------------------------------------- transforms
     def with_submissions(self, submissions: Sequence[Submission]) -> "FuzzScenario":

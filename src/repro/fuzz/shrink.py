@@ -19,9 +19,9 @@ is what a regression schedule needs (any pinned violation is a real bug).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional
 
-from .harness import FuzzResult, run_scenario
+from .harness import run_scenario
 from .scenario import FuzzScenario, Submission
 
 Predicate = Callable[[FuzzScenario], bool]

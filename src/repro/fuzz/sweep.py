@@ -60,12 +60,15 @@ def run_sweep(
     time_cap_s: Optional[float] = None,
     progress=None,
     hybrid: Optional[bool] = None,
+    batch_window: Optional[int] = None,
 ) -> SweepSummary:
     """Run every ``(seed, profile)`` scenario; shrink and collect failures.
 
     ``hybrid`` selects the ordering mode for every run: ``True`` forces the
     Skeen-timestamp hybrid on (acyclic-order findings become hard failures),
     ``False`` forces it off, ``None`` follows each scenario's own flag.
+    ``batch_window`` likewise forces the client-side batching window for
+    every run (``1`` = unbatched); ``None`` follows each scenario.
     """
     for profile in profiles:
         if profile not in PROFILES:
@@ -81,6 +84,8 @@ def run_sweep(
             scenario = apply_profile(generate_scenario(seed, profile), profile)
             if hybrid is not None:
                 scenario = replace(scenario, hybrid=hybrid)
+            if batch_window is not None:
+                scenario = replace(scenario, batch_window=batch_window)
             result = run_scenario(scenario, pivot_guard=pivot_guard)
             summary.runs += 1
             if result.strict_ok:
@@ -156,6 +161,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_false",
         help="force hybrid mode OFF (default: follow each scenario's flag)",
     )
+    parser.add_argument(
+        "--batch",
+        dest="batch_window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="force the client-side batching window to N for every run "
+        "(1 = unbatched; default: follow each scenario's batch_window)",
+    )
     parser.add_argument("--replay", default=None, help="replay one schedule JSON")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
@@ -201,6 +215,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         time_cap_s=args.time_cap_s,
         progress=progress,
         hybrid=args.hybrid,
+        batch_window=args.batch_window,
     )
     print(
         f"\nsweep: {summary.clean}/{summary.runs} clean, "

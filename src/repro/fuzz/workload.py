@@ -15,7 +15,10 @@ Shapes covered (the knobs the lost-delivery class of bugs is sensitive to):
 * **garbage collection** — some scenarios run periodic flush multicasts so
   the GC-vs-in-flight-delta edges get exercised;
 * **reconfiguration / crashes** — scripted events are attached by the
-  profile (see :mod:`repro.fuzz.profiles`).
+  profile (see :mod:`repro.fuzz.profiles`);
+* **batching** — a minority of scenarios route submissions through the
+  client-side batching window (:mod:`repro.core.batching`), so coalesced
+  ordering units are explored against every fault profile.
 """
 
 from __future__ import annotations
@@ -110,6 +113,13 @@ def generate_scenario(seed: int, profile: str = "none") -> FuzzScenario:
         )
     submissions.sort(key=lambda s: (s.at_ms, s.msg_id))
 
+    # Batch axis, drawn *last* so every earlier field of a given seed is
+    # unchanged from pre-batching sweeps: most runs stay unbatched, the rest
+    # coalesce under a small/medium/large window (bursty timings make these
+    # windows actually fill).
+    batch_window = rng.choice([1, 1, 1, 1, 4, 8, 16])
+    batch_delay_ms = rng.choice([2.0, 5.0, 10.0]) if batch_window > 1 else 5.0
+
     return FuzzScenario(
         name=f"fuzz-seed{seed}-{profile}",
         order=order,
@@ -121,4 +131,6 @@ def generate_scenario(seed: int, profile: str = "none") -> FuzzScenario:
         profile="none",
         profile_seed=seed * 17 + 3,
         gc_interval_ms=gc_interval,
+        batch_window=batch_window,
+        batch_delay_ms=batch_delay_ms,
     )

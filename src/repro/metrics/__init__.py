@@ -1,4 +1,14 @@
-"""Measurement substrate: statistics, collectors, overhead and reports."""
+"""Measurement substrate: statistics, collectors, overhead and reports.
+
+What lives here: everything that turns raw runs into numbers.  The main
+entry points are :class:`LatencyCollector` (per-delivery latency samples;
+also the observation feed for the reconfiguration layer's
+:class:`~repro.reconfig.monitor.WorkloadMonitor`), :func:`traffic_report`
+(per-node byte/envelope accounting behind the Figure 8 traffic numbers),
+:func:`compute_overhead` (payload vs protocol bytes, Figures 1/9), the
+``format_*`` renderers in :mod:`~repro.metrics.report`, and the summary
+statistics in :mod:`~repro.metrics.stats`.
+"""
 
 from .collector import LatencyCollector, NodeTrafficReport, traffic_report
 from .overhead import GroupOverhead, OverheadReport, compute_overhead

@@ -16,7 +16,7 @@ cool-down noise; :class:`LatencyCollector.trimmed` implements the same rule.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..overlay.base import GroupId

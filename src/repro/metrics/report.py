@@ -7,7 +7,7 @@ keep the formatting in one place.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Iterable, List, Mapping, Sequence
 
 from .collector import NodeTrafficReport
 from .overhead import OverheadReport

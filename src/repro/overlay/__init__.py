@@ -1,4 +1,14 @@
-"""Group communication overlays: C-DAG (FlexCast), tree (hierarchical), complete graph."""
+"""Group communication overlays: C-DAG (FlexCast), tree, complete graph.
+
+What lives here: the topologies protocols are deployed on.  The main entry
+point is :class:`CDagOverlay` (the complete DAG FlexCast ranks groups on),
+alongside :class:`TreeOverlay` (hierarchical baseline),
+:class:`CompleteGraphOverlay` (Skeen baseline) and the builders from the
+paper's evaluation — :func:`build_o1` / :func:`build_o2` (latency-driven
+C-DAG orders), :func:`build_t1`–:func:`build_t3` (trees), plus the
+workload-aware orders the reconfiguration planner draws from
+(:func:`~repro.overlay.builders.nearest_neighbour_order` and friends).
+"""
 
 from .base import CompleteGraphOverlay, GroupId, Overlay, OverlayError
 from .builders import (

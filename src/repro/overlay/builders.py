@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from ..sim.latencies import LatencyMatrix, default_regions
+from ..sim.latencies import LatencyMatrix
 from .base import CompleteGraphOverlay, GroupId
 from .cdag import CDagOverlay
 from .tree import TreeOverlay

@@ -11,7 +11,7 @@ destinations in a single communication step.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 from .base import GroupId, Overlay, OverlayError
 

@@ -11,7 +11,7 @@ communication overhead quantified in Figures 1 and 9 of the paper.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
 
 from .base import GroupId, Overlay, OverlayError
 

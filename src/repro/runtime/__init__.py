@@ -1,4 +1,16 @@
-"""Asyncio/TCP runtime: the same protocols over real sockets."""
+"""Asyncio/TCP runtime: the same protocols over real sockets.
+
+What lives here: the deployment surface for running any protocol from this
+repo outside the simulator.  The main entry points are :class:`LocalCluster`
+(one TCP :class:`GroupServer` per group on localhost, optionally with
+emulated WAN latencies) and :class:`AsyncMulticastClient` (submit
+multicasts — single or batched via ``multicast_batch`` — and await every
+destination's response).  Frames are length-prefixed JSON
+(:mod:`~repro.runtime.codec`); :class:`AsyncioTransport` adapts the
+protocol-facing :class:`~repro.sim.transport.Transport` interface to
+sockets, so the protocol classes themselves are byte-for-byte the ones the
+simulator runs.
+"""
 
 from .client import AsyncMulticastClient
 from .cluster import LocalCluster

@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..core.message import ClientRequest, ClientResponse, Message
+from ..core.message import ClientRequest, ClientResponse, FlexCastBatch, Message
 from ..overlay.base import GroupId
 from ..protocols.base import AtomicMulticastProtocol
 from .codec import CodecError, read_frame
@@ -73,6 +73,44 @@ class AsyncMulticastClient:
         if len(responses) >= expected:
             done.set()
 
+    async def _send_and_await(
+        self,
+        messages: List[Message],
+        request: ClientRequest,
+        route_by: Message,
+        timeout: float,
+    ) -> Dict[str, Dict[GroupId, float]]:
+        """Register waiting slots for ``messages``, ship one ``request`` to
+        ``route_by``'s entry group(s), await every per-destination response.
+
+        Shared tail of :meth:`multicast` and :meth:`multicast_batch`.
+        Returns ``{msg_id: {group: latency_ms}}``; waiting slots are cleaned
+        up on success *and* on timeout.
+        """
+        started = self._loop.time() * 1000.0
+        done_events: List[asyncio.Event] = []
+        all_responses: Dict[str, Dict[GroupId, float]] = {}
+        for message in messages:
+            done = asyncio.Event()
+            responses: Dict[GroupId, float] = {}
+            self._waiting[message.msg_id] = (len(message.dst), responses, done)
+            done_events.append(done)
+            all_responses[message.msg_id] = responses
+        try:
+            for entry in self._protocol.entry_groups(route_by):
+                self.transport.send(entry, request)
+            await asyncio.wait_for(
+                asyncio.gather(*(done.wait() for done in done_events)),
+                timeout=timeout,
+            )
+        finally:
+            for message in messages:
+                self._waiting.pop(message.msg_id, None)
+        return {
+            msg_id: {group: at - started for group, at in responses.items()}
+            for msg_id, responses in all_responses.items()
+        }
+
     # ----------------------------------------------------------------- public
     async def multicast(
         self,
@@ -88,13 +126,33 @@ class AsyncMulticastClient:
         message = Message.create(
             destinations=destinations, sender=self.client_id, payload=payload
         )
-        done = asyncio.Event()
-        responses: Dict[GroupId, float] = {}
-        self._waiting[message.msg_id] = (len(message.dst), responses, done)
-        started = self._loop.time() * 1000.0
-        request = ClientRequest(message=message)
-        for entry in self._protocol.entry_groups(message):
-            self.transport.send(entry, request)
-        await asyncio.wait_for(done.wait(), timeout=timeout)
-        del self._waiting[message.msg_id]
-        return {group: at - started for group, at in responses.items()}
+        latencies = await self._send_and_await(
+            [message], ClientRequest(message=message), message, timeout
+        )
+        return latencies[message.msg_id]
+
+    async def multicast_batch(
+        self,
+        destinations: Iterable[GroupId],
+        payloads: Iterable,
+        timeout: float = 10.0,
+    ) -> Dict[str, Dict[GroupId, float]]:
+        """Multicast ``payloads`` as one batch and await every response.
+
+        The payloads share one destination set and travel the wire as a
+        single :class:`~repro.core.message.FlexCastBatch` frame; the lca
+        orders the batch as one unit and each destination fans it out into
+        per-member deliveries, so — exactly as with :meth:`multicast` —
+        every member message gets one response from every destination.
+        Returns ``{msg_id: {group: latency_ms}}`` in payload order.  Raises
+        ``asyncio.TimeoutError`` if some response does not arrive in time.
+        """
+        dst = frozenset(destinations)
+        messages: List[Message] = [
+            Message.create(destinations=dst, sender=self.client_id, payload=payload)
+            for payload in payloads
+        ]
+        carrier = Message.batch_of(messages)
+        return await self._send_and_await(
+            messages, FlexCastBatch(message=carrier), carrier, timeout
+        )

@@ -9,7 +9,7 @@ tests and of ``examples/asyncio_cluster.py``.
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, List, Optional
 
 from ..overlay.base import GroupId
 from ..protocols.base import AtomicMulticastProtocol

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Dict, Tuple
 
 from ..core import message as msg
 
@@ -29,7 +29,7 @@ class CodecError(ValueError):
 
 # --------------------------------------------------------------- message pieces
 def _message_to_dict(m: msg.Message) -> Dict[str, Any]:
-    return {
+    d = {
         "msg_id": m.msg_id,
         "dst": sorted(m.dst),
         "sender": m.sender,
@@ -37,6 +37,11 @@ def _message_to_dict(m: msg.Message) -> Dict[str, Any]:
         "payload_bytes": m.payload_bytes,
         "is_flush": m.is_flush,
     }
+    if m.members:
+        # Batch carrier: one level of member messages (batch_of forbids
+        # nesting, so the recursion is bounded at depth one).
+        d["members"] = [_message_to_dict(member) for member in m.members]
+    return d
 
 
 def _message_from_dict(d: Dict[str, Any]) -> msg.Message:
@@ -47,6 +52,9 @@ def _message_from_dict(d: Dict[str, Any]) -> msg.Message:
         payload=d.get("payload"),
         payload_bytes=d.get("payload_bytes", 64),
         is_flush=d.get("is_flush", False),
+        members=tuple(
+            _message_from_dict(member) for member in d.get("members", [])
+        ),
     )
 
 
@@ -70,6 +78,10 @@ def _delta_from_dict(d: Dict[str, Any]) -> msg.HistoryDelta:
 
 # ------------------------------------------------------------------- envelopes
 def _encode_envelope(envelope: Any) -> Dict[str, Any]:
+    if isinstance(envelope, msg.FlexCastBatch):
+        # Before ClientRequest: FlexCastBatch subclasses it, and the frame
+        # type must survive the round-trip so receivers account batches.
+        return {"type": "flexcast-batch", "message": _message_to_dict(envelope.message)}
     if isinstance(envelope, msg.ClientRequest):
         return {"type": "request", "message": _message_to_dict(envelope.message)}
     if isinstance(envelope, msg.ClientResponse):
@@ -183,6 +195,8 @@ def _decode_envelope(data: Dict[str, Any]) -> Any:
     env_type = data.get("type")
     if env_type == "request":
         return msg.ClientRequest(message=_message_from_dict(data["message"]))
+    if env_type == "flexcast-batch":
+        return msg.FlexCastBatch(message=_message_from_dict(data["message"]))
     if env_type == "response":
         return msg.ClientResponse(msg_id=data["msg_id"], group=data["group"])
     if env_type == "flexcast-msg":

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+from typing import Callable, Dict, Hashable, Optional, Tuple
 
 from ..core.message import ClientResponse, Message
 from ..overlay.base import GroupId

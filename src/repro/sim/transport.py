@@ -12,9 +12,8 @@ interface below, so exactly the same protocol implementation runs:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Hashable, Optional
+from typing import Any, Callable
 
-from .events import EventLoop
 from .network import Network, NodeId
 
 

@@ -1,4 +1,14 @@
-"""State machine replication substrate: Paxos, multi-Paxos, replicated groups."""
+"""State machine replication substrate: Paxos, multi-Paxos, replicated groups.
+
+What lives here: the intra-group fault-tolerance layer the paper abstracts
+away ("each group is a replicated state machine").  The main entry point is
+:class:`ReplicatedGroup`, which wraps any protocol group in a
+:class:`MultiPaxosReplica` ensemble so envelopes are applied through a
+replicated log and survive leader crashes (exactly-once per logical group,
+displaced commands re-proposed after fail-over — both pinned by the fuzz
+crash profile).  :mod:`~repro.smr.paxos` holds the single-decree roles the
+multi-Paxos log is built from.
+"""
 
 from .multipaxos import ClientCommand, Commit, Heartbeat, MultiPaxosReplica
 from .paxos import (

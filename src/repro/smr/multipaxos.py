@@ -22,7 +22,7 @@ contribution):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Set
+from typing import Any, Callable, Dict, Hashable, List, Sequence, Set
 
 from ..sim.transport import Transport
 from .paxos import Accept, Accepted, Acceptor, Ballot, Nack, Prepare, Promise, Proposer

@@ -15,7 +15,7 @@ of timers; leader election and retries live one level up.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, Optional, Set, Tuple
 
 ReplicaId = Any
 

@@ -1,4 +1,13 @@
-"""gTPC-C workload: TPC-C transaction profiles plus geographic locality."""
+"""gTPC-C workload: TPC-C transaction profiles plus geographic locality.
+
+What lives here: the paper's geo-distributed TPC-C variant.  The main entry
+point is :class:`GTPCCWorkload` (configured by :class:`GTPCCConfig`:
+warehouses per region, locality rate, transaction mix), which samples
+:class:`Transaction`\\ s whose destination sets and payload sizes follow the
+profiles in :mod:`~repro.workload.tpcc`; :class:`ClosedLoopClient` drives
+them against a deployed protocol with a bounded number of outstanding
+multicasts.
+"""
 
 from .clients import ClosedLoopClient, CompletedTransaction
 from .gtpcc import GTPCCConfig, GTPCCWorkload, Transaction

@@ -21,8 +21,8 @@ Properties inherited from the paper:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence
 
 from ..overlay.base import GroupId
 from ..sim.latencies import LatencyMatrix

@@ -13,7 +13,7 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict
 
 
 class TransactionType(enum.Enum):

@@ -91,8 +91,10 @@ class TestEnvelopes:
         assert SkeenPropose(message=m).kind == "msg"
         assert TreeForward(message=m, sequence=1).kind == "msg"
 
-    def test_payload_kinds_cover_request_and_msg_only(self):
-        assert PAYLOAD_KINDS == {"request", "msg"}
+    def test_payload_kinds_cover_payload_carriers_only(self):
+        # request/batch are the client submission forms (single/coalesced);
+        # msg is the only group-to-group envelope that ships payloads.
+        assert PAYLOAD_KINDS == {"request", "msg", "batch"}
 
     def test_flexcast_msg_size_includes_history(self):
         m = Message.create([1, 2], payload_bytes=50)

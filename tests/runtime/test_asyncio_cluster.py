@@ -47,6 +47,45 @@ class TestFlexCastCluster:
         run(scenario())
 
 
+class TestBatchedCluster:
+    def test_batch_delivered_over_tcp(self):
+        async def scenario():
+            protocol = FlexCastProtocol(CDagOverlay([0, 1, 2]))
+            async with LocalCluster(protocol) as cluster:
+                client = await cluster.new_client("client-1")
+                latencies = await client.multicast_batch(
+                    [0, 2], payloads=["a", "b", "c"]
+                )
+                # One FlexCastBatch frame, three member messages, each
+                # confirmed by both destinations.
+                assert len(latencies) == 3
+                for responses in latencies.values():
+                    assert set(responses) == {0, 2}
+                assert cluster.delivered_at(0) == cluster.delivered_at(2)
+                assert cluster.delivered_at(0) == list(latencies)
+                # Members arrive back-to-back in submission order and no
+                # carrier message ever reaches the application.
+                delivered = cluster.servers[0].delivered
+                assert [m.payload for m in delivered] == ["a", "b", "c"]
+                assert all(not m.is_batch for m in delivered)
+
+        run(scenario())
+
+    def test_batched_and_plain_multicasts_interleave(self):
+        async def scenario():
+            protocol = FlexCastProtocol(CDagOverlay([0, 1, 2]), hybrid=True)
+            async with LocalCluster(protocol) as cluster:
+                client = await cluster.new_client("client-1")
+                await client.multicast([0, 1], payload="before")
+                await client.multicast_batch([0, 1], payloads=["b1", "b2"])
+                await client.multicast([0, 1], payload="after")
+                assert cluster.delivered_at(0) == cluster.delivered_at(1)
+                seq0 = [m.payload for m in cluster.servers[0].delivered]
+                assert seq0 == ["before", "b1", "b2", "after"]
+
+        run(scenario())
+
+
 class TestBaselineClusters:
     def test_skeen_cluster_delivers_everywhere(self):
         async def scenario():

@@ -7,6 +7,7 @@ from repro.core.message import (
     ClientResponse,
     EMPTY_DELTA,
     FlexCastAck,
+    FlexCastBatch,
     FlexCastMsg,
     FlexCastNotif,
     FlexCastTsPropose,
@@ -107,6 +108,48 @@ class TestRoundTrips:
         flush = Message(msg_id="f1", dst=frozenset({0, 1}), is_flush=True)
         decoded = round_trip(ClientRequest(message=flush))
         assert decoded.message.is_flush
+
+    def test_flexcast_batch(self):
+        members = [
+            Message(
+                msg_id=f"m{i}",
+                dst=frozenset({1, 3}),
+                sender="client-7",
+                payload={"seq": i},
+                payload_bytes=48,
+            )
+            for i in range(4)
+        ]
+        envelope = FlexCastBatch(message=Message.batch_of(members, batch_id="b9"))
+        decoded = round_trip(envelope)
+        # The decoded frame is still a *batch* (not a plain request) and the
+        # carrier round-trips exactly: id, members in order, payloads.
+        assert type(decoded) is FlexCastBatch
+        assert decoded == envelope
+        assert decoded.message.is_batch
+        assert [m.msg_id for m in decoded.message.members] == ["m0", "m1", "m2", "m3"]
+        assert decoded.message.members[2].payload == {"seq": 2}
+
+    def test_batch_carrier_inside_msg_envelope(self):
+        # Between groups a batch travels inside the ordinary msg envelope;
+        # the carrier's members must survive that hop too.
+        members = [
+            Message(msg_id=f"m{i}", dst=frozenset({1, 3}), payload=i)
+            for i in range(2)
+        ]
+        carrier = Message.batch_of(members, batch_id="b1")
+        envelope = FlexCastMsg(message=carrier, history=sample_delta(), epoch=1)
+        decoded = round_trip(envelope)
+        assert decoded == envelope
+        assert decoded.message.members == tuple(members)
+
+    def test_plain_message_has_no_members_key(self):
+        # Pre-batching peers must keep decoding unchanged frames: ordinary
+        # messages do not even mention the members field on the wire.
+        frame = encode_frame("n", ClientRequest(message=sample_message()))
+        assert b"members" not in frame
+        decoded = round_trip(ClientRequest(message=sample_message()))
+        assert decoded.message.members == ()
 
 
 class TestErrors:

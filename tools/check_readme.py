@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Smoke-execute the README's fenced ``bash`` blocks.
+
+The README quickstart rotted once before (it stopped at PR 2 while the tree
+grew four more subsystems), so CI now runs what the README shows: every
+fenced ```` ```bash ```` block is extracted and executed from the repository
+root with ``bash -euo pipefail`` and ``PYTHONPATH=src`` on the environment.
+A block preceded (within two lines) by an HTML comment ``<!-- docs-ci:
+skip -->`` is listed but not run — use it for commands that genuinely
+cannot run headless, not as an escape hatch for slow ones.
+
+Usage::
+
+    python tools/check_readme.py              # run all bash blocks
+    python tools/check_readme.py --list       # show what would run
+    python tools/check_readme.py --file DESIGN.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SKIP_MARKER = "<!-- docs-ci: skip -->"
+_FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+def extract_bash_blocks(text: str) -> List[Tuple[int, str, bool]]:
+    """Return ``(start_line, block_source, skipped)`` for every bash fence."""
+    blocks: List[Tuple[int, str, bool]] = []
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        match = _FENCE.match(lines[index])
+        if match and match.group(1) == "bash":
+            start = index + 1
+            skipped = any(
+                SKIP_MARKER in lines[back]
+                for back in range(max(0, index - 2), index)
+            )
+            body: List[str] = []
+            index += 1
+            while index < len(lines) and not _FENCE.match(lines[index]):
+                body.append(lines[index])
+                index += 1
+            blocks.append((start, "\n".join(body), skipped))
+        index += 1
+    return blocks
+
+
+def run_block(source: str, timeout_s: float) -> int:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    try:
+        process = subprocess.run(
+            ["bash", "-euo", "pipefail", "-c", source],
+            cwd=REPO_ROOT,
+            env=env,
+            timeout=timeout_s,
+        )
+    except subprocess.TimeoutExpired:
+        # A hanging block is a failure of that block, not of the checker:
+        # report it like any nonzero exit and keep running the rest.
+        print(f"    ... timed out after {timeout_s:.0f}s")
+        return 124
+    return process.returncode
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--file", default="README.md", help="markdown file to check")
+    parser.add_argument("--list", action="store_true", help="list blocks, run nothing")
+    parser.add_argument(
+        "--timeout", type=float, default=1800.0, help="per-block timeout in seconds"
+    )
+    args = parser.parse_args(argv)
+
+    path = REPO_ROOT / args.file
+    blocks = extract_bash_blocks(path.read_text())
+    if not blocks:
+        print(f"{args.file}: no fenced bash blocks found")
+        return 1
+
+    failures = 0
+    for number, (line, source, skipped) in enumerate(blocks, start=1):
+        header = f"[{number}/{len(blocks)}] {args.file}:{line}"
+        if args.list or skipped:
+            status = "SKIP (marker)" if skipped else "would run"
+            print(f"{header} — {status}:")
+            for command in source.splitlines():
+                print(f"    {command}")
+            continue
+        print(f"{header} — running:")
+        for command in source.splitlines():
+            print(f"    {command}")
+        started = time.monotonic()
+        returncode = run_block(source, timeout_s=args.timeout)
+        elapsed = time.monotonic() - started
+        verdict = "ok" if returncode == 0 else f"FAILED (rc={returncode})"
+        print(f"{header} — {verdict} in {elapsed:.1f}s\n")
+        if returncode != 0:
+            failures += 1
+    if failures:
+        print(f"{failures} block(s) failed — the {args.file} quickstart has rotted")
+        return 1
+    print(f"all {len(blocks)} bash block(s) in {args.file} passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
