@@ -27,6 +27,7 @@ import os
 import platform
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
@@ -43,6 +44,7 @@ from repro.reconfig.monitor import WorkloadMonitor  # noqa: E402
 from repro.reconfig.planner import Planner  # noqa: E402
 from repro.sim.latencies import aws_latency_matrix  # noqa: E402
 from repro.sim.transport import RecordingTransport  # noqa: E402
+from repro.storage import FileStorage, InMemoryStorage  # noqa: E402
 
 DEFAULT_SIZES = (200, 1000, 5000)
 #: Aim for roughly this much wall time per measurement.
@@ -231,6 +233,77 @@ def bench_delivery_round_batched(
     return op
 
 
+def bench_wal_append(size: int) -> Callable[[], None]:
+    """One durable WAL append (FileStorage, default fsync batching).
+
+    The per-mutation cost the durability layer adds to every history/SMR
+    state change: CRC-framed JSON encode + buffered write + flush, with an
+    fsync every ``fsync_every`` records.  ``size`` shapes the record (a
+    realistic ``["d", msg_id]`` delivery entry); the file is reset whenever
+    it reaches ``size`` records so steady state, not file growth, is timed.
+    """
+    tmp = tempfile.TemporaryDirectory(prefix="bench-wal-")
+    wal = FileStorage(tmp.name).wal("bench")
+    counter = {"i": 0, "_dir": tmp}  # keep the tempdir alive via the closure
+
+    def op() -> None:
+        counter["i"] += 1
+        wal.append(["d", f"bench-{counter['i']}"])
+        if len(wal) >= size:
+            wal.reset([])
+
+    return op
+
+
+def bench_recovery_replay(size: int) -> Callable[[], None]:
+    """Rebuild a group history from storage (snapshot + ``size``-record WAL).
+
+    The boot-time cost of crash recovery: :meth:`History.recover` restoring
+    the chain-shaped history entirely from its journal.  InMemoryStorage
+    keeps the measurement on the replay logic itself rather than disk reads.
+    """
+    storage = InMemoryStorage()
+    source = History()
+    source.attach_storage(storage, "bench", snapshot_min_wal_records=10**9)
+    for i in range(size):
+        source.record_delivery(Message(msg_id=f"m{i}", dst=frozenset({i % 4})))
+
+    def op() -> None:
+        recovered = History.recover(storage, "bench")
+        assert len(recovered) == size
+
+    return op
+
+
+def bench_delivery_round_durable(size: int) -> Callable[[], None]:
+    """``delivery_round`` with the history journaled to InMemoryStorage.
+
+    Same steady-state lca round as ``delivery_round``, but every history
+    mutation also lands in the attached WAL — the configuration the fuzz
+    harness's crash profiles run.  The gap to ``delivery_round`` is the
+    durability overhead on the hot path, which the CI gate bounds at
+    ``--max-durable-overhead`` (2x).
+    """
+    overlay = CDagOverlay(list(range(12)))
+    group = FlexCastGroup(0, overlay, RecordingTransport(0), RecordingSink())
+    group.history.attach_storage(InMemoryStorage(), "bench")
+    for i in range(size):
+        group.history.record_delivery(
+            Message(msg_id=f"fill-{i}", dst=frozenset({0, 3, 7}))
+        )
+    for dest in (3, 7):
+        group.diff_tracker.diff_for(dest, group.history)
+    counter = {"i": 0}
+
+    def op() -> None:
+        counter["i"] += 1
+        group.on_client_request(
+            Message(msg_id=f"bench-{counter['i']}", dst=frozenset({0, 3, 7}))
+        )
+
+    return op
+
+
 def bench_reconfig_plan(size: int) -> Callable[[], None]:
     """One coordinator re-planning pass with ``size`` observations in the
     window (12-region AWS geometry, Asia-shifted workload)."""
@@ -258,6 +331,9 @@ BENCHMARKS: Dict[str, Callable[[int], Callable[[], None]]] = {
     "delivery_round": bench_delivery_round,
     "delivery_round_hybrid": bench_delivery_round_hybrid,
     "delivery_round_batched": bench_delivery_round_batched,
+    "delivery_round_durable": bench_delivery_round_durable,
+    "wal_append": bench_wal_append,
+    "recovery_replay": bench_recovery_replay,
     "reconfig_plan": bench_reconfig_plan,
 }
 
@@ -427,7 +503,8 @@ def main(argv: List[str] | None = None) -> int:
     )
     parser.add_argument(
         "--gate",
-        default="diff_for,delivery_round,delivery_round_hybrid,delivery_round_batched",
+        default="diff_for,delivery_round,delivery_round_hybrid,"
+        "delivery_round_batched,delivery_round_durable,wal_append,recovery_replay",
         help="comma-separated benchmarks the --compare gate checks "
         "(default: %(default)s)",
     )
@@ -444,6 +521,13 @@ def main(argv: List[str] | None = None) -> int:
         help="with --compare: fail unless delivery_round_batched is at least "
         "this many times the delivery_round message throughput "
         "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-durable-overhead",
+        type=float,
+        default=2.0,
+        help="with --compare: fail unless delivery_round_durable stays within "
+        "this slowdown factor of delivery_round (default: %(default)s)",
     )
     parser.add_argument(
         "--max-slowdown",
@@ -537,6 +621,23 @@ def main(argv: List[str] | None = None) -> int:
                         f"{batched_ops:,.0f} msg/s is below "
                         f"{args.min_batch_speedup:.1f}x delivery_round "
                         f"({plain_ops:,.0f} msg/s)"
+                    )
+        # The durability claim too: journaling every history mutation must
+        # not cost the hot path more than --max-durable-overhead.
+        if args.max_durable_overhead > 0:
+            plain = results.get("delivery_round", {})
+            durable = results.get("delivery_round_durable", {})
+            for size in plain:
+                if size not in durable:
+                    continue
+                plain_ops = float(plain[size]["ops_per_sec"])
+                durable_ops = float(durable[size]["ops_per_sec"])
+                if durable_ops > 0 and plain_ops > args.max_durable_overhead * durable_ops:
+                    failures.append(
+                        f"delivery_round_durable |H|={size}: "
+                        f"{durable_ops:,.0f} op/s is more than "
+                        f"{args.max_durable_overhead:.1f}x slower than "
+                        f"delivery_round ({plain_ops:,.0f} op/s)"
                     )
         if failures:
             print(f"REGRESSION GATE FAILED vs {args.compare}:")

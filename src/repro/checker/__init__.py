@@ -10,7 +10,10 @@ applications see ordering bugs in), :func:`conservation_check`
 safety during live reconfiguration) and :func:`check_genuineness`.  The
 fuzz harness (:mod:`repro.fuzz.harness`) runs the whole suite on every
 scenario; batched runs are split into per-message deliveries by the
-delivery gate before these oracles ever see them.
+delivery gate before these oracles ever see them.  Crash-restart runs add
+:func:`check_recovery`, which pins a rebooted replica's delivery sequence
+across the restart boundary (no loss, no duplication, prefix consistency,
+convergence with the survivors).
 """
 
 from .properties import (
@@ -20,6 +23,7 @@ from .properties import (
     check_genuineness,
     check_trace,
 )
+from .recovery import check_recovery
 from .replay import check_sequential_replay, conservation_check, witness_order
 
 __all__ = [
@@ -27,6 +31,7 @@ __all__ = [
     "Violation",
     "check_epochs",
     "check_genuineness",
+    "check_recovery",
     "check_trace",
     "check_sequential_replay",
     "conservation_check",

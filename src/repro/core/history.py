@@ -28,7 +28,7 @@ invariants):
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Protocol, Set, Tuple
 
 from ..overlay.base import GroupId
 from .message import EMPTY_DELTA, HistoryDelta, Message
@@ -37,6 +37,42 @@ from .message import EMPTY_DELTA, HistoryDelta, Message
 #: ``(_JOURNAL_VERTEX, msg_id, dst)`` or ``(_JOURNAL_EDGE, before, after)``.
 _JOURNAL_VERTEX = "v"
 _JOURNAL_EDGE = "e"
+
+#: Extra WAL-only record kinds (never in the in-memory journal): a local
+#: delivery (the ``lastDlvd`` / delivered-set transition must survive a
+#: restart even though diffs never ship it) and a garbage-collection round.
+_WAL_DELIVERY = "d"
+_WAL_FORGET = "f"
+
+#: Default WAL length (records) above which journal compaction also writes a
+#: snapshot and resets the WAL, so recovery replays snapshot + suffix.
+SNAPSHOT_MIN_WAL_RECORDS = 512
+
+
+class WALLike(Protocol):
+    """The slice of :class:`repro.storage.base.WAL` the history needs.
+
+    Structural typing keeps the dependency one-directional: ``repro.storage``
+    imports ``repro.core`` (for recovery helpers), never the other way.
+    """
+
+    def append(self, record: Any) -> None: ...
+
+    def records(self) -> List[Any]: ...
+
+    def reset(self, records: Iterable[Any] = ()) -> None: ...
+
+    def __len__(self) -> int: ...
+
+
+class StorageLike(Protocol):
+    """The slice of :class:`repro.storage.base.Storage` the history needs."""
+
+    def wal(self, name: str) -> WALLike: ...
+
+    def write_snapshot(self, name: str, payload: Any) -> None: ...
+
+    def read_snapshot(self, name: str) -> Optional[Any]: ...
 
 
 class History:
@@ -71,6 +107,11 @@ class History:
         "_by_group",
         "_journal",
         "_journal_base",
+        "_wal",
+        "_storage",
+        "_store_name",
+        "_snapshot_min",
+        "_delivered_local",
     )
 
     def __init__(self) -> None:
@@ -90,6 +131,16 @@ class History:
         # every tracked descendant's watermark had passed them).
         self._journal: List[Tuple] = []
         self._journal_base = 0
+        # Optional durability (attach_storage): every mutation is mirrored to
+        # a write-ahead log; snapshots piggyback on journal compaction.
+        self._wal: Optional[WALLike] = None
+        self._storage: Optional[StorageLike] = None
+        self._store_name: Optional[str] = None
+        self._snapshot_min = SNAPSHOT_MIN_WAL_RECORDS
+        # Ids this group delivered *itself* (record_delivery), as opposed to
+        # vertices merged from ancestors' deltas.  Needed at recovery to
+        # rebuild the protocol's delivered set; cheap to maintain otherwise.
+        self._delivered_local: Set[str] = set()
 
     # ---------------------------------------------------------------- basics
     def __contains__(self, msg_id: str) -> bool:
@@ -137,6 +188,8 @@ class History:
         for group in dst:
             self._by_group.setdefault(group, set()).add(msg_id)
         self._journal.append((_JOURNAL_VERTEX, msg_id, dst))
+        if self._wal is not None:
+            self._wal.append([_JOURNAL_VERTEX, msg_id, sorted(dst, key=str)])
 
     def add_edge(self, before: str, after: str) -> None:
         """Record that ``before`` was ordered before ``after``.
@@ -157,6 +210,8 @@ class History:
         succ.add(after)
         self.predecessors[after].add(before)
         self._journal.append((_JOURNAL_EDGE, before, after))
+        if self._wal is not None:
+            self._wal.append([_JOURNAL_EDGE, before, after])
 
     def record_delivery(self, message: Message) -> None:
         """Append a locally delivered message to the group's total order.
@@ -170,6 +225,9 @@ class History:
             # edge would be meaningless) is rejected there.
             self.add_edge(self.last_delivered, message.msg_id)
         self.last_delivered = message.msg_id
+        self._delivered_local.add(message.msg_id)
+        if self._wal is not None:
+            self._wal.append([_WAL_DELIVERY, message.msg_id])
 
     def merge_delta(self, delta: HistoryDelta) -> None:
         """Integrate an ancestor's history delta (``update-hst``)."""
@@ -297,6 +355,11 @@ class History:
         dropped = upto - self._journal_base
         del self._journal[:dropped]
         self._journal_base = upto
+        # Snapshot cadence piggybacks on compaction (the GC path): once the
+        # WAL has accumulated enough records, fold it into a snapshot so
+        # recovery replays snapshot + suffix instead of the node's whole life.
+        if self._wal is not None and len(self._wal) >= self._snapshot_min:
+            self.snapshot_now()
         return dropped
 
     # --------------------------------------------------------------- pruning
@@ -322,6 +385,8 @@ class History:
         for victim in victims:
             self._remove_vertex(victim)
         self._forgotten.update(victims)
+        if victims and self._wal is not None:
+            self._wal.append([_WAL_FORGET, sorted(victims)])
         return victims
 
     def _remove_vertex(self, msg_id: str) -> None:
@@ -346,6 +411,121 @@ class History:
 
     def is_forgotten(self, msg_id: str) -> bool:
         return msg_id in self._forgotten
+
+    # ------------------------------------------------------------- durability
+    @property
+    def delivered_locally(self) -> FrozenSet[str]:
+        """Ids this group delivered itself (survives recovery)."""
+        return frozenset(self._delivered_local)
+
+    def attach_storage(
+        self,
+        storage: StorageLike,
+        name: str,
+        snapshot_min_wal_records: int = SNAPSHOT_MIN_WAL_RECORDS,
+    ) -> None:
+        """Mirror every future mutation of this history to ``storage``.
+
+        The WAL is ``<name>.journal``; snapshots are written under ``name``.
+        If the history already holds state that the storage does not (attach
+        after the fact rather than at birth/recovery), a snapshot is taken
+        immediately so durable state never lags the in-memory DAG.
+        """
+        self._storage = storage
+        self._store_name = name
+        self._snapshot_min = snapshot_min_wal_records
+        self._wal = storage.wal(name + ".journal")
+        has_state = bool(self.destinations) or self.last_delivered is not None
+        if has_state and len(self._wal) == 0 and storage.read_snapshot(name) is None:
+            self.snapshot_now()
+
+    def snapshot_now(self) -> None:
+        """Write a full snapshot and reset the WAL to empty (explicit trigger)."""
+        if self._storage is None or self._store_name is None or self._wal is None:
+            raise RuntimeError("no storage attached (call attach_storage first)")
+        self._storage.write_snapshot(self._store_name, self._snapshot_payload())
+        self._wal.reset()
+
+    def _snapshot_payload(self) -> Dict[str, Any]:
+        return {
+            "schema": 1,
+            "version": self.version,
+            "last_delivered": self.last_delivered,
+            "forgotten": sorted(self._forgotten),
+            "delivered": sorted(self._delivered_local),
+            "vertices": [
+                [mid, sorted(dst, key=str)] for mid, dst in self.destinations.items()
+            ],
+            "edges": [[a, b] for a, b in self.edges()],
+        }
+
+    def _restore_snapshot(self, payload: Dict[str, Any]) -> None:
+        """Load a snapshot into an empty history (no journal/WAL writes)."""
+        if payload.get("schema") != 1:
+            raise ValueError(f"unknown history snapshot schema: {payload.get('schema')!r}")
+        self._journal_base = int(payload["version"])
+        self.last_delivered = payload["last_delivered"]
+        self._forgotten = set(payload["forgotten"])
+        self._delivered_local = set(payload["delivered"])
+        for mid, dst in payload["vertices"]:
+            dst_set = frozenset(dst)
+            self.destinations[mid] = dst_set
+            self.successors.setdefault(mid, set())
+            self.predecessors.setdefault(mid, set())
+            for group in dst_set:
+                self._by_group.setdefault(group, set()).add(mid)
+        for before, after in payload["edges"]:
+            self.successors[before].add(after)
+            self.predecessors[after].add(before)
+
+    def _apply_wal_record(self, record: List[Any]) -> None:
+        """Replay one WAL record (only meaningful while ``_wal`` is detached)."""
+        kind = record[0]
+        if kind == _JOURNAL_VERTEX:
+            # add_vertex is idempotent and skips forgotten ids, so replaying a
+            # pre-snapshot record (possible after a crash between snapshot and
+            # WAL reset) is harmless.
+            self.add_vertex(record[1], frozenset(record[2]))
+        elif kind == _JOURNAL_EDGE:
+            self.add_edge(record[1], record[2])
+        elif kind == _WAL_DELIVERY:
+            self.last_delivered = record[1]
+            self._delivered_local.add(record[1])
+        elif kind == _WAL_FORGET:
+            for victim in record[1]:
+                self._remove_vertex(victim)
+            self._forgotten.update(record[1])
+        else:
+            raise ValueError(f"unknown history WAL record kind: {kind!r}")
+
+    @classmethod
+    def recover(
+        cls,
+        storage: StorageLike,
+        name: str,
+        snapshot_min_wal_records: int = SNAPSHOT_MIN_WAL_RECORDS,
+    ) -> "History":
+        """Rebuild a history from ``storage``: restore snapshot, replay WAL.
+
+        The returned history has the storage attached, so it keeps journaling
+        where the crashed incarnation left off.  Its in-memory change journal
+        restarts at the snapshot version; descendants' diff watermarks from a
+        previous incarnation simply fall below ``journal_base`` and receive
+        one full live snapshot on their next diff (overshipping is safe:
+        merges are idempotent and forgotten ids are filtered).
+        """
+        history = cls()
+        payload = storage.read_snapshot(name)
+        if payload is not None:
+            history._restore_snapshot(payload)
+        wal = storage.wal(name + ".journal")
+        for record in wal.records():
+            history._apply_wal_record(record)
+        history._storage = storage
+        history._store_name = name
+        history._snapshot_min = snapshot_min_wal_records
+        history._wal = wal
+        return history
 
     # ----------------------------------------------------------------- export
     def full_delta(self) -> HistoryDelta:

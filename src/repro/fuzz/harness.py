@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Tuple
 
 from ..checker.properties import check_epochs, check_trace
+from ..checker.recovery import check_recovery
 from ..checker.replay import check_sequential_replay, conservation_check
 from ..core.batching import BatchingClient
 from ..core.flexcast import FlexCastProtocol
@@ -44,6 +45,8 @@ from ..sim.latencies import LatencyMatrix, aws_latency_matrix
 from ..sim.network import Network
 from ..sim.transport import SimTransport
 from ..smr.replica import ReplicatedGroup
+from ..storage import InMemoryStorage
+from ..workload.clients import BoundedResubmitter
 from .profiles import EnvelopeFaultFilter
 from .scenario import FuzzScenario, Submission
 
@@ -386,7 +389,16 @@ def _run_flexcast(
 
 # ---------------------------------------------------------------- replicated
 def _run_replicated(scenario: FuzzScenario, pivot_guard: bool, hybrid: bool) -> FuzzResult:
-    """Crash-profile runs: one multi-Paxos replicated group, leader crashes."""
+    """Crash-profile runs: one multi-Paxos replicated group.
+
+    Replicas persist to a shared :class:`InMemoryStorage` (the simulated
+    "disk" that survives a crash); scripted :class:`Restart` events tear a
+    crashed replica down to that persisted state and reboot it mid-run, and
+    the recovery oracle then checks its delivery sequence across the restart
+    boundary.  With ``client_retries`` > 0 a bounded resubmit-on-timeout
+    layer re-sends undelivered requests, so full delivery stays in the
+    oracle's contract even when requests die with a crashing replica.
+    """
     loop = EventLoop()
     base = scenario.uniform_ms
     latencies = LatencyMatrix(
@@ -398,30 +410,68 @@ def _run_replicated(scenario: FuzzScenario, pivot_guard: bool, hybrid: bool) -> 
     protocol = FlexCastProtocol(CDagOverlay([0]), pivot_guard=pivot_guard, hybrid=hybrid)
 
     sink = RecordingSink(clock=lambda: loop.now)
+    delivered_ids: set = set()
+
+    def recording_sink(group_id: GroupId, message: Message) -> None:
+        delivered_ids.add(message.msg_id)
+        sink(group_id, message)
+
+    storage = InMemoryStorage()
     group = ReplicatedGroup(
         group_id=0,
         protocol=protocol,
         network=network,
         site=0,
-        sink=sink,
+        sink=recording_sink,
         replication_factor=scenario.replication_factor,
+        storage=storage,
     )
     network.register(CLIENT, site=1, handler=lambda s, p: None)
 
     # Crashes first: at equal virtual times they precede submissions, so the
-    # "submitted after the crash" expectation below is well defined.
+    # "submitted after the crash" expectation below is well defined.  Each
+    # crash snapshots the victim's delivery sequence for the recovery oracle.
     crash_times = []
+    pre_crash: Dict[int, List[str]] = {}
     for crash in scenario.crashes:
         def fire(index=crash.replica):
             if index not in group._crashed_indices and len(
                 group._crashed_indices
             ) < scenario.replication_factor - 1:
+                pre_crash[index] = list(group.replicas[index].local_deliveries)
                 group.crash_replica(index, network)
 
         crash_times.append(crash.at_ms)
         loop.schedule_at(crash.at_ms, fire)
 
+    # Restarts: reboot a crashed replica from its persisted state.  The new
+    # incarnation is tracked so the oracle can compare it against the
+    # pre-crash snapshot and against a never-crashed survivor.
+    restarted: Dict[int, object] = {}
+    restart_times: List[float] = []
+    for restart in scenario.restarts:
+        def reboot(index=restart.replica):
+            if index in group._crashed_indices:
+                restarted[index] = group.restart_replica(index, network)
+
+        restart_times.append(restart.at_ms)
+        loop.schedule_at(restart.at_ms, reboot)
+
     messages: Dict[str, Message] = {}
+    resubmitter: Optional[BoundedResubmitter] = None
+    if scenario.client_retries > 0:
+        # One timeout period comfortably covers a client->group round trip
+        # plus SMR ordering; deterministic (pure function of the scenario).
+        resubmitter = BoundedResubmitter(
+            resend=lambda msg_id: network.send(
+                CLIENT, group.leader.replica_id, ClientRequest(message=messages[msg_id])
+            ),
+            is_settled=lambda msg_id: msg_id in delivered_ids,
+            schedule=loop.schedule,
+            timeout_ms=scenario.uniform_ms * 8 + 50.0,
+            max_retries=scenario.client_retries,
+        )
+
     for index, sub in enumerate(scenario.submissions):
         message = Message.create(
             destinations=(0,),
@@ -434,6 +484,8 @@ def _run_replicated(scenario: FuzzScenario, pivot_guard: bool, hybrid: bool) -> 
 
         def submit(message=message):
             network.send(CLIENT, group.leader.replica_id, ClientRequest(message=message))
+            if resubmitter is not None:
+                resubmitter.track(message.msg_id)
 
         loop.schedule_at(sub.at_ms, submit)
 
@@ -459,31 +511,61 @@ def _run_replicated(scenario: FuzzScenario, pivot_guard: bool, hybrid: bool) -> 
                 f"[smr-integrity] {msg_id} delivered but never submitted"
             )
 
-    # Agreement: surviving replicas applied identical client-request logs.
-    logs = group.delivered_sequences()
-    survivor_logs = [
-        logs[replica.replica_id]
+    # Agreement: every active replica's own protocol copy delivered the same
+    # sequence (restarted replicas included — they are full members again).
+    active = [
+        replica
         for index, replica in enumerate(group.replicas)
         if index not in group._crashed_indices
     ]
-    for log in survivor_logs[1:]:
-        if log != survivor_logs[0]:
+    reference_seq: Optional[List[str]] = None
+    for index, replica in enumerate(group.replicas):
+        if index not in group._crashed_indices and index not in restarted:
+            reference_seq = list(replica.local_deliveries)
+            break
+    for replica in active[1:]:
+        if replica.local_deliveries != active[0].local_deliveries:
             result.violations.append(
                 "[smr-agreement] surviving replicas applied different sequences"
             )
             break
 
-    # Liveness across fail-over: everything submitted strictly after the last
-    # crash reached the application (earlier in-flight requests may be lost
-    # with the crashing leader — there is no client retry layer).
-    last_crash = max(crash_times, default=-1.0)
-    expected_after = {
-        sub.msg_id for sub in scenario.submissions if sub.at_ms > last_crash
-    }
-    missing = expected_after - set(delivered)
-    if missing:
-        result.violations.append(
-            f"[smr-failover] {len(missing)} post-crash submissions never "
-            f"delivered: {sorted(missing)[:5]}"
+    # Recovery oracle: each rebooted replica's sequence across its restart.
+    for index, replica in restarted.items():
+        report = check_recovery(
+            pre_crash=pre_crash.get(index, []),
+            rejoined=replica.local_deliveries,
+            reference=reference_seq,
+            replica=str(replica.replica_id),
         )
+        result.violations.extend(str(v) for v in report.violations)
+
+    if scenario.expect_all_delivered:
+        # With the client retry layer on, *every* submission must land.
+        missing = set(messages) - set(delivered)
+        if missing:
+            result.violations.append(
+                f"[smr-validity] {len(missing)} submissions never delivered "
+                f"despite retries: {sorted(missing)[:5]}"
+            )
+        if resubmitter is not None:
+            stuck = sorted(set(resubmitter.exhausted) - set(delivered))
+            if stuck:
+                result.violations.append(
+                    f"[smr-validity] retry budget exhausted for {stuck[:5]}"
+                )
+    else:
+        # Liveness across fail-over: everything submitted strictly after the
+        # last crash reached the application (earlier in-flight requests may
+        # be lost with the crashing replica when retries are off).
+        last_crash = max(crash_times, default=-1.0)
+        expected_after = {
+            sub.msg_id for sub in scenario.submissions if sub.at_ms > last_crash
+        }
+        missing = expected_after - set(delivered)
+        if missing:
+            result.violations.append(
+                f"[smr-failover] {len(missing)} post-crash submissions never "
+                f"delivered: {sorted(missing)[:5]}"
+            )
     return result

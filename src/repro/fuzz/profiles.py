@@ -12,9 +12,14 @@ the matching oracle expectations:
   switches to safety-only mode (everything that *was* delivered must still
   satisfy integrity/prefix/acyclic order and replay consistency);
 * ``crash`` — the run uses a multi-Paxos replicated group
-  (:class:`repro.smr.replica.ReplicatedGroup`) and crashes the current
-  leader replica mid-run; surviving replicas must agree and post-fail-over
-  submissions must be delivered;
+  (:class:`repro.smr.replica.ReplicatedGroup`) and crashes a seeded victim
+  replica mid-run; survivors must agree, and — thanks to the bounded client
+  retry layer — *every* submission must still be delivered exactly once;
+* ``crash-restart`` — like ``crash``, but the victim also reboots from its
+  persisted WAL + snapshot mid-run (sometimes twice, sometimes a second
+  victim).  On top of the ``crash`` oracle, the recovery oracle pins the
+  rejoined replica's delivery sequence: duplicate-free, prefix-consistent
+  with its own pre-crash deliveries, and convergent with the survivors;
 * ``reconfig`` — one or two scripted overlay switches (random permutations)
   run mid-traffic through the epoch coordinator; the whole multi-epoch trace
   must satisfy the regular properties plus ``check_epochs``.
@@ -33,9 +38,13 @@ from ..core.message import (
     FlexCastNotif,
     FlexCastTsPropose,
 )
-from .scenario import Crash, FuzzScenario, Reconfig
+from .scenario import Crash, FuzzScenario, Reconfig, Restart
 
-PROFILES = ("none", "dup", "loss", "crash", "reconfig")
+PROFILES = ("none", "dup", "loss", "crash", "reconfig", "crash-restart")
+
+#: Bounded resubmit attempts for crash-family profiles (see
+#: :class:`repro.workload.clients.BoundedResubmitter`).
+_CRASH_CLIENT_RETRIES = 4
 
 #: Envelope kinds subject to fault injection, per fault mode.  Hybrid-mode
 #: timestamp proposals are *duplicated* (exercising the authority's
@@ -75,26 +84,54 @@ def apply_profile(scenario: FuzzScenario, profile: str) -> FuzzScenario:
             # would just stall too, so drop them for clarity.
             gc_interval_ms=None,
         )
-    if profile == "crash":
+    if profile in ("crash", "crash-restart"):
         # SMR mode: a single replicated group absorbing the whole submission
-        # stream, with the initial leader crashed mid-run.
+        # stream, with a seeded victim replica crashed mid-run.  The crash
+        # time is drawn before the victim so every pre-existing ``crash``
+        # seed keeps its historical crash instant.
         submissions = tuple(
             replace(s, dst=(0,)) for s in scenario.submissions
         )
         crash_at = round(rng.uniform(horizon * 0.2, horizon * 0.7), 3)
-        return replace(
-            scenario,
-            profile="crash",
+        victim = rng.randrange(3)
+        common = dict(
             order=(0,),
             submissions=submissions,
             replication_factor=3,
-            crashes=(Crash(at_ms=crash_at, replica=0),),
-            # In-flight requests addressed to the crashing leader are lost
-            # (no client retry layer); the oracle instead asserts that every
-            # post-crash submission is delivered and survivors agree.
-            expect_all_delivered=False,
+            # Bounded resubmit-on-timeout: requests lost with a crashing
+            # replica are retried by the client, so full delivery is back in
+            # the oracle's contract (re-submission is idempotent end to end).
+            client_retries=_CRASH_CLIENT_RETRIES,
+            expect_all_delivered=True,
             gc_interval_ms=None,
             jitter_ms=min(scenario.jitter_ms, 1.0),
+        )
+        if profile == "crash":
+            return replace(
+                scenario,
+                profile="crash",
+                crashes=(Crash(at_ms=crash_at, replica=victim),),
+                **common,
+            )
+        # crash-restart: the victim reboots from its persisted state while
+        # traffic continues; ~1 in 3 seeds follows with a second crash-and-
+        # rejoin cycle (possibly of a different replica, possibly of the same
+        # one again — exercising WAL reuse across incarnations).
+        restart_at = round(crash_at + rng.uniform(0.15, 0.35) * horizon, 3)
+        crashes = [Crash(at_ms=crash_at, replica=victim)]
+        restarts = [Restart(at_ms=restart_at, replica=victim)]
+        if rng.random() < 0.34:
+            victim2 = rng.randrange(3)
+            crash2_at = round(restart_at + rng.uniform(0.1, 0.25) * horizon, 3)
+            restart2_at = round(crash2_at + rng.uniform(0.1, 0.25) * horizon, 3)
+            crashes.append(Crash(at_ms=crash2_at, replica=victim2))
+            restarts.append(Restart(at_ms=restart2_at, replica=victim2))
+        return replace(
+            scenario,
+            profile="crash-restart",
+            crashes=tuple(crashes),
+            restarts=tuple(restarts),
+            **common,
         )
     if profile == "reconfig":
         num_switches = rng.randint(1, 2)

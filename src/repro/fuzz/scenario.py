@@ -52,6 +52,19 @@ class Crash:
 
 
 @dataclass(frozen=True)
+class Restart:
+    """A scripted reboot of crashed replica ``replica`` at ``at_ms``.
+
+    The replica comes back with only its persisted state (WAL + snapshot)
+    and must rejoin via replay + peer catch-up; a no-op if the replica is
+    not down at ``at_ms``.
+    """
+
+    at_ms: float
+    replica: int
+
+
+@dataclass(frozen=True)
 class FuzzScenario:
     """A fully deterministic schedule for one simulated run."""
 
@@ -68,7 +81,14 @@ class FuzzScenario:
     gc_interval_ms: Optional[float] = None
     reconfigs: Tuple[Reconfig, ...] = ()
     crashes: Tuple[Crash, ...] = ()
+    #: Scripted reboots of crashed replicas (crash-restart profile).  Old
+    #: schedules deserialize to () — no restarts, unchanged behaviour.
+    restarts: Tuple[Restart, ...] = ()
     replication_factor: int = 1       # >1 switches the harness to SMR mode
+    #: Bounded client resubmit-on-timeout attempts per submission (0 = no
+    #: retries).  With retries on, crash runs can assert every submission is
+    #: delivered: re-submissions are idempotent end to end.
+    client_retries: int = 0
     #: Safety-only mode: the profile makes liveness impossible (e.g. loss on
     #: channels FlexCast assumes reliable), so the oracle checks that what
     #: *was* delivered is consistent, not that everything was delivered.
@@ -134,6 +154,10 @@ class FuzzScenario:
         data["crashes"] = tuple(
             Crash(at_ms=c["at_ms"], replica=c["replica"])
             for c in data.get("crashes", ())
+        )
+        data["restarts"] = tuple(
+            Restart(at_ms=r["at_ms"], replica=r["replica"])
+            for r in data.get("restarts", ())
         )
         return FuzzScenario(**data)
 

@@ -27,9 +27,14 @@ class LocalCluster:
         protocol: AtomicMulticastProtocol,
         latencies: Optional[LatencyMatrix] = None,
         emulate_wan: bool = False,
+        storage: Optional[Dict[GroupId, object]] = None,
     ) -> None:
         self._protocol = protocol
         self._latencies = latencies if emulate_wan else None
+        #: Optional per-group durable storage backends (:mod:`repro.storage`);
+        #: a restarted cluster handed the same mapping resumes each group
+        #: from its persisted history instead of a blank one.
+        self._storage = storage or {}
         self.addresses: AddressBook = {}
         self.servers: Dict[GroupId, GroupServer] = {}
         self.clients: List[AsyncMulticastClient] = []
@@ -44,6 +49,7 @@ class LocalCluster:
                 addresses=self.addresses,
                 latencies=self._latencies,
                 sites=sites if self._latencies is not None else None,
+                storage=self._storage.get(gid),
             )
             host, port = await server.start()
             self.addresses[gid] = (host, port)

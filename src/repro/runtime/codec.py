@@ -288,6 +288,18 @@ def _decode_envelope(data: Dict[str, Any]) -> Any:
     raise CodecError(f"cannot decode envelope type {env_type!r}")
 
 
+# The WAL layer (repro.storage users) persists envelopes in the same JSON
+# shape the wire uses; these public aliases are the supported entry points.
+def envelope_to_dict(envelope: Any) -> Dict[str, Any]:
+    """Encode any protocol envelope to its JSON-able wire dictionary."""
+    return _encode_envelope(envelope)
+
+
+def envelope_from_dict(data: Dict[str, Any]) -> Any:
+    """Decode an envelope from its JSON wire dictionary (inverse of above)."""
+    return _decode_envelope(data)
+
+
 # --------------------------------------------------------------------- framing
 def encode_frame(sender: Any, envelope: Any) -> bytes:
     """Encode one (sender, envelope) frame with its length prefix."""

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import asyncio
-from typing import Callable, Dict, Hashable, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
 from ..core.message import ClientResponse, Message
 from ..overlay.base import GroupId
@@ -20,6 +20,14 @@ class GroupServer:
     the message's sender whenever the group delivers a message.  An optional
     ``on_deliver`` callback lets applications consume deliveries directly
     (that is the integration point for building replicated services on top).
+
+    With a ``storage`` backend (:mod:`repro.storage`) the group's history —
+    DAG, delivered set, ``lastDlvd`` — becomes durable: the server restores
+    it at construction (snapshot + WAL-suffix replay) and journals every
+    mutation from then on, so a restarted server node resumes from its
+    pre-crash delivery state instead of a blank group.
+    ``recovered_deliveries`` reports how many local deliveries were restored
+    (0 on a cold start).
     """
 
     def __init__(
@@ -32,6 +40,7 @@ class GroupServer:
         on_deliver: Optional[Callable[[GroupId, Message], None]] = None,
         latencies=None,
         sites: Optional[Dict[Hashable, int]] = None,
+        storage: Optional[Any] = None,
     ) -> None:
         self.group_id = group_id
         self.host = host
@@ -41,6 +50,13 @@ class GroupServer:
             node_id=group_id, addresses=addresses, latencies=latencies, sites=sites
         )
         self.group = protocol.create_group(group_id, self.transport, self._sink)
+        self.recovered_deliveries = 0
+        if storage is not None:
+            from ..storage.recovery import attach_group_storage
+
+            self.recovered_deliveries = attach_group_storage(
+                self.group, storage, name=f"group-{group_id}"
+            )
         self._server: Optional[asyncio.AbstractServer] = None
         self.delivered: list = []
         self.frames_received = 0

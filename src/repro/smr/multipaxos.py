@@ -22,7 +22,7 @@ contribution):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, List, Sequence, Set
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from ..sim.transport import Transport
 from .paxos import Accept, Accepted, Acceptor, Ballot, Nack, Prepare, Promise, Proposer
@@ -69,6 +69,31 @@ class Heartbeat:
         return 24
 
 
+@dataclass(frozen=True)
+class CatchupRequest:
+    """Rejoining replica -> peer: send me every decision from ``from_instance``."""
+
+    from_instance: int
+    from_replica: ReplicaId
+    kind: str = field(default="smr-catchup", init=False)
+
+    def size_bytes(self) -> int:
+        return 32
+
+
+@dataclass(frozen=True)
+class CatchupReply:
+    """Peer -> rejoining replica: the requested ``(instance, value)`` decisions."""
+
+    entries: Tuple[Tuple[int, Any], ...]
+    kind: str = field(default="smr-catchup-reply", init=False)
+
+    def size_bytes(self) -> int:
+        from ..sim.network import payload_size
+
+        return 32 + sum(12 + payload_size(value) for _, value in self.entries)
+
+
 class MultiPaxosReplica:
     """One replica of a replicated log.
 
@@ -92,6 +117,10 @@ class MultiPaxosReplica:
         peers: Sequence[ReplicaId],
         transport: Transport,
         apply: ApplyCallback,
+        acceptor_wal: Optional[Any] = None,
+        log_wal: Optional[Any] = None,
+        encode_value: Optional[Callable[[Any], Any]] = None,
+        decode_value: Optional[Callable[[Any], Any]] = None,
     ) -> None:
         if replica_id not in peers:
             raise ValueError("replica_id must be listed in peers")
@@ -101,7 +130,18 @@ class MultiPaxosReplica:
         self._apply = apply
         self.quorum_size = len(self.peers) // 2 + 1
 
-        self.acceptor = Acceptor(replica_id)
+        self._encode_value = encode_value or (lambda value: value)
+        self._decode_value = decode_value or (lambda value: value)
+        # Durable acceptor state (Paxos safety across restarts) and a commit
+        # log of decided instances (so a restarted replica re-applies its
+        # prefix without touching the network).  Both optional.
+        self.acceptor = Acceptor(
+            replica_id,
+            wal=acceptor_wal,
+            encode_value=self._encode_value,
+            decode_value=self._decode_value,
+        )
+        self._log_wal = log_wal
         self._proposers: Dict[int, Proposer] = {}
         self._proposer_index = self.peers.index(replica_id)
         self._next_instance = 0
@@ -117,6 +157,19 @@ class MultiPaxosReplica:
         #: Replicas believed to be alive (failure detection input).
         self.alive: Set[ReplicaId] = set(self.peers)
         self.stats = {"proposed": 0, "committed": 0, "forwarded": 0, "nacks": 0}
+        #: Log length recovered from the commit WAL at construction.
+        self.recovered_instances = 0
+        if log_wal is not None:
+            for record in log_wal.records():
+                if record[0] != "c":
+                    raise ValueError(f"unknown commit WAL record kind: {record[0]!r}")
+                self._decided[record[1]] = self._decode_value(record[2])
+            if self._decided:
+                self._next_instance = max(self._decided) + 1
+            self.recovered_instances = len(self._decided)
+            while self._applied_up_to + 1 in self._decided:
+                self._applied_up_to += 1
+                self._apply(self._applied_up_to, self._decided[self._applied_up_to])
 
     # ------------------------------------------------------------- leadership
     @property
@@ -143,6 +196,27 @@ class MultiPaxosReplica:
 
     def mark_alive(self, replica: ReplicaId) -> None:
         self.alive.add(replica)
+
+    def rejoin(self) -> None:
+        """Announce this (restarted) replica and pull the decided suffix.
+
+        Called after construction replayed the local WALs: peers learn we are
+        alive again (their failure detectors re-admit us, possibly handing
+        leadership back), and a catch-up round fills every decision made
+        while we were down.  Both messages are idempotent, so racing with
+        in-flight traffic is harmless.
+        """
+        for peer in self.peers:
+            if peer == self.replica_id:
+                continue
+            self.transport.send(peer, Heartbeat(leader=self.replica_id))
+            self.transport.send(
+                peer,
+                CatchupRequest(
+                    from_instance=self._applied_up_to + 1,
+                    from_replica=self.replica_id,
+                ),
+            )
 
     # ------------------------------------------------------------ client path
     def submit(self, command: Any) -> None:
@@ -220,6 +294,17 @@ class MultiPaxosReplica:
             self._learn(message.instance, message.value)
         elif isinstance(message, Heartbeat):
             self.mark_alive(message.leader)
+        elif isinstance(message, CatchupRequest):
+            entries = tuple(
+                (instance, value)
+                for instance, value in sorted(self._decided.items())
+                if instance >= message.from_instance
+            )
+            if entries:
+                self.transport.send(message.from_replica, CatchupReply(entries=entries))
+        elif isinstance(message, CatchupReply):
+            for instance, value in message.entries:
+                self._learn(instance, value)
         else:
             raise TypeError(f"unexpected SMR message {message!r}")
 
@@ -263,6 +348,10 @@ class MultiPaxosReplica:
         if instance in self._decided:
             return
         self._decided[instance] = value
+        if self._log_wal is not None:
+            # Persist the decision before applying it: after a restart the
+            # replica replays exactly the prefix it already exposed.
+            self._log_wal.append(["c", instance, self._encode_value(value)])
         self._next_instance = max(self._next_instance, instance + 1)
         # A follower stashes forwarded commands so it can re-propose them after
         # a leader crash; once a command is decided it must not be re-proposed.

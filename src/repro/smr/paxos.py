@@ -15,9 +15,10 @@ of timers; leader election and retries live one level up.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 ReplicaId = Any
+ValueCodec = Callable[[Any], Any]
 
 
 @dataclass(frozen=True)
@@ -112,13 +113,82 @@ class Nack:
 
 # --------------------------------------------------------------------- acceptor
 class Acceptor:
-    """Paxos acceptor state for a sequence of instances."""
+    """Paxos acceptor state for a sequence of instances.
 
-    def __init__(self, replica_id: ReplicaId) -> None:
+    When constructed with a ``wal``, the acceptor satisfies the Paxos
+    stable-storage requirement: ``promised``/``accepted`` transitions are
+    persisted *before* the corresponding Promise/Accepted reply is handed
+    back to the caller, and a restarted acceptor replays the log on
+    construction — so it can never promise or accept below a ballot it
+    already answered for, no matter how many times it crashes.
+
+    WAL records (JSON-able):
+
+    * ``["p", instance, [round, proposer]]`` — promise made;
+    * ``["a", instance, [round, proposer], value]`` — value accepted (also
+      implies the promise, mirroring :meth:`on_accept`).
+
+    ``encode_value``/``decode_value`` translate accepted values to/from their
+    wire form (identity by default — fine for JSON-able commands).
+    """
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        wal: Optional[Any] = None,
+        encode_value: Optional[ValueCodec] = None,
+        decode_value: Optional[ValueCodec] = None,
+    ) -> None:
         self.replica_id = replica_id
         self._promised: Dict[int, Ballot] = {}
         self._accepted: Dict[int, Tuple[Ballot, Any]] = {}
+        self._wal = wal
+        self._encode = encode_value or (lambda value: value)
+        self._decode = decode_value or (lambda value: value)
+        if wal is not None:
+            for record in wal.records():
+                self._replay(record)
 
+    # ------------------------------------------------------------- durability
+    def _replay(self, record: List[Any]) -> None:
+        kind = record[0]
+        if kind == "p":
+            self._promised[record[1]] = Ballot(*record[2])
+        elif kind == "a":
+            ballot = Ballot(*record[2])
+            self._promised[record[1]] = ballot
+            self._accepted[record[1]] = (ballot, self._decode(record[3]))
+        else:
+            raise ValueError(f"unknown acceptor WAL record kind: {kind!r}")
+
+    def _persist(self, record: List[Any]) -> None:
+        if self._wal is None:
+            return
+        self._wal.append(record)
+        # The log only needs the *latest* promise/accept per instance; once it
+        # holds several generations of retries, fold it to current state.
+        live = 2 * (len(self._promised) + len(self._accepted)) + 64
+        if len(self._wal) > live:
+            self._wal.reset(self._durable_records())
+
+    def _durable_records(self) -> List[List[Any]]:
+        """Current state as a minimal record list (compaction target)."""
+        records: List[List[Any]] = []
+        for instance, (ballot, value) in sorted(self._accepted.items()):
+            records.append(
+                ["a", instance, [ballot.round, ballot.proposer], self._encode(value)]
+            )
+        for instance, ballot in sorted(self._promised.items()):
+            accepted = self._accepted.get(instance)
+            if accepted is None or accepted[0] != ballot:
+                records.append(["p", instance, [ballot.round, ballot.proposer]])
+        return records
+
+    def promised_ballot(self, instance: int) -> Ballot:
+        """Highest ballot promised for ``instance`` (introspection/tests)."""
+        return self._promised.get(instance, ZERO_BALLOT)
+
+    # --------------------------------------------------------------- protocol
     def on_prepare(self, prepare: Prepare):
         """Handle phase 1a; returns a :class:`Promise` or a :class:`Nack`."""
         promised = self._promised.get(prepare.instance, ZERO_BALLOT)
@@ -130,6 +200,9 @@ class Acceptor:
                 from_replica=self.replica_id,
             )
         self._promised[prepare.instance] = prepare.ballot
+        self._persist(
+            ["p", prepare.instance, [prepare.ballot.round, prepare.ballot.proposer]]
+        )
         accepted_ballot, accepted_value = self._accepted.get(
             prepare.instance, (ZERO_BALLOT, None)
         )
@@ -153,6 +226,14 @@ class Acceptor:
             )
         self._promised[accept.instance] = accept.ballot
         self._accepted[accept.instance] = (accept.ballot, accept.value)
+        self._persist(
+            [
+                "a",
+                accept.instance,
+                [accept.ballot.round, accept.ballot.proposer],
+                self._encode(accept.value),
+            ]
+        )
         return Accepted(
             instance=accept.instance,
             ballot=accept.ballot,

@@ -42,6 +42,28 @@ class OrderedEnvelope:
         return 16 + self.envelope.size_bytes()
 
 
+def _entry_to_wire(entry: Any) -> Any:
+    """Encode a log entry for the WAL (JSON-able), via the runtime codec.
+
+    Non-envelope values (tests submit plain strings) pass through untouched.
+    """
+    if not isinstance(entry, OrderedEnvelope):
+        return entry
+    from ..runtime.codec import envelope_to_dict
+
+    return {"__oe__": 1, "sender": entry.sender, "envelope": envelope_to_dict(entry.envelope)}
+
+
+def _entry_from_wire(wire: Any) -> Any:
+    if not (isinstance(wire, dict) and wire.get("__oe__") == 1):
+        return wire
+    from ..runtime.codec import envelope_from_dict
+
+    return OrderedEnvelope(
+        sender=wire["sender"], envelope=envelope_from_dict(wire["envelope"])
+    )
+
+
 class _GatedTransport(Transport):
     """Transport wrapper that drops outbound traffic unless the gate is open.
 
@@ -76,6 +98,7 @@ class GroupReplica:
         transport: Transport,
         sink: DeliverySink,
         reported: Optional[set] = None,
+        storage: Optional[Any] = None,
     ) -> None:
         self.group_id = group_id
         self.replica_id = replica_id
@@ -88,23 +111,49 @@ class GroupReplica:
         #: leader — without the shared set the application would see the
         #: delivery twice.
         self._reported = reported if reported is not None else set()
+        #: Set by :meth:`ReplicatedGroup.crash_replica`: a crashed incarnation
+        #: must never report deliveries, even if a stale timer still fires.
+        self.dead = False
+        #: This replica's own delivery order, as produced by its protocol copy
+        #: (leaders and followers alike, before the leader gate).  After a
+        #: restart it is rebuilt by the WAL replay — deterministically, since
+        #: it is a pure function of the replicated log — which is exactly what
+        #: the recovery oracle checks across the restart boundary.
+        self.local_deliveries: List[str] = []
         # Each replica holds its own copy of the protocol state machine.
         self.protocol_state: AtomicMulticastGroup = protocol.create_group(
             group_id, self._gated, self._make_sink(sink)
         )
+        self.applied: List[OrderedEnvelope] = []
+        acceptor_wal = log_wal = None
+        if storage is not None:
+            acceptor_wal = storage.wal(f"{replica_id}.acceptor")
+            log_wal = storage.wal(f"{replica_id}.log")
+        # While the commit WAL replays (inside the MultiPaxosReplica
+        # constructor) the replica re-applies its pre-crash log prefix: the
+        # outbound gate stays shut and nothing is reported — peers and
+        # clients saw those effects before the crash.
+        self._recovering = True
         self.smr = MultiPaxosReplica(
             replica_id=replica_id,
             peers=peer_replicas,
             transport=transport,
             apply=self._apply,
+            acceptor_wal=acceptor_wal,
+            log_wal=log_wal,
+            encode_value=_entry_to_wire,
+            decode_value=_entry_from_wire,
         )
-        self.applied: List[OrderedEnvelope] = []
+        self._recovering = False
 
     def _make_sink(self, sink: DeliverySink) -> DeliverySink:
         def gated_sink(group_id: GroupId, message: Message) -> None:
             # Every replica records the delivery locally (state machine), but
             # only the leader reports it to the outside world — exactly once
             # per message, even when leadership changes mid-instance.
+            self.local_deliveries.append(message.msg_id)
+            if self.dead or self._recovering:
+                return
             if self.smr.is_leader and message.msg_id not in self._reported:
                 self._reported.add(message.msg_id)
                 sink(group_id, message)
@@ -118,6 +167,8 @@ class GroupReplica:
         Protocol envelopes (from clients or other groups) are ordered through
         the group's log; SMR-internal messages go straight to multi-Paxos.
         """
+        if self.dead:
+            return
         if isinstance(payload, Envelope):
             self.smr.submit(OrderedEnvelope(sender=sender, envelope=payload))
         else:
@@ -125,7 +176,9 @@ class GroupReplica:
 
     def _apply(self, instance: int, entry: OrderedEnvelope) -> None:
         self.applied.append(entry)
-        self._gated.open = self.smr.is_leader
+        # During WAL replay self.smr is still mid-construction; the recovery
+        # check must short-circuit first (the gate stays shut regardless).
+        self._gated.open = not self._recovering and self.smr.is_leader
         try:
             self.protocol_state.on_envelope(entry.sender, entry.envelope)
         finally:
@@ -134,6 +187,10 @@ class GroupReplica:
     # -------------------------------------------------------------- failover
     def mark_failed(self, replica: ReplicaId) -> None:
         self.smr.mark_failed(replica)
+
+    def rejoin(self) -> None:
+        """Announce the restarted replica to its peers and catch up the delta."""
+        self.smr.rejoin()
 
     @property
     def is_leader(self) -> bool:
@@ -161,6 +218,7 @@ class ReplicatedGroup:
         site: int,
         sink: DeliverySink,
         replication_factor: int = 3,
+        storage: Optional[Any] = None,
     ) -> None:
         if replication_factor < 1:
             raise ValueError("replication factor must be at least 1")
@@ -169,6 +227,14 @@ class ReplicatedGroup:
         self._crashed_indices: set = set()
         replica_ids = [replica_node(group_id, i) for i in range(replication_factor)]
         reported: set = set()
+        # Kept for restart_replica: a rebooted replica is built from the same
+        # ingredients (and the same storage) as its crashed incarnation.
+        self._protocol = protocol
+        self._site = site
+        self._sink = sink
+        self._reported = reported
+        self._replica_ids = replica_ids
+        self._storage = storage
         for replica_id in replica_ids:
             transport = _ReplicaTransport(network, replica_id, group_id, replica_ids)
             replica = GroupReplica(
@@ -179,6 +245,7 @@ class ReplicatedGroup:
                 transport=transport,
                 sink=sink,
                 reported=reported,
+                storage=storage,
             )
             self.replicas.append(replica)
             network.register(replica_id, site=site, handler=replica.on_message)
@@ -201,10 +268,41 @@ class ReplicatedGroup:
         """Crash one replica: unregister it and inform the survivors."""
         victim = self.replicas[index]
         self._crashed_indices.add(index)
+        victim.dead = True
         network.unregister(victim.replica_id)
         for replica in self.replicas:
             if replica is not victim:
                 replica.mark_failed(victim.replica_id)
+
+    def restart_replica(self, index: int, network) -> GroupReplica:
+        """Reboot a crashed replica from its persisted state.
+
+        A *fresh* :class:`GroupReplica` is constructed — the crashed object is
+        discarded, so everything the new incarnation knows comes from the
+        shared storage (acceptor WAL, commit log, and, transitively, the
+        protocol state rebuilt by replaying the log).  The new replica is
+        re-registered on the network, announces itself to the survivors, and
+        catches up decisions made while it was down.
+        """
+        if index not in self._crashed_indices:
+            raise ValueError(f"replica {index} is not crashed")
+        replica_id = self._replica_ids[index]
+        transport = _ReplicaTransport(network, replica_id, self.group_id, self._replica_ids)
+        replica = GroupReplica(
+            group_id=self.group_id,
+            replica_id=replica_id,
+            peer_replicas=self._replica_ids,
+            protocol=self._protocol,
+            transport=transport,
+            sink=self._sink,
+            reported=self._reported,
+            storage=self._storage,
+        )
+        self.replicas[index] = replica
+        self._crashed_indices.discard(index)
+        network.register(replica_id, site=self._site, handler=replica.on_message)
+        replica.rejoin()
+        return replica
 
     def delivered_sequences(self) -> Dict[ReplicaId, List[str]]:
         """Delivery order applied at each replica (for consistency checks)."""

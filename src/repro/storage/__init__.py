@@ -1,0 +1,36 @@
+"""Pluggable durable storage for FlexCast nodes.
+
+Production nodes restart; everything a replica needs to survive its own crash
+lives behind the two small interfaces in :mod:`~repro.storage.base`:
+
+* :class:`~repro.storage.base.WAL` — an append-only log of JSON-able records
+  (the history change journal, the Paxos acceptor state, the commit log);
+* :class:`~repro.storage.base.Storage` — a namespace of WALs plus atomic
+  point-in-time snapshots (history snapshots piggyback on journal compaction
+  so recovery replays snapshot + suffix, not the whole life of the node).
+
+Two backends are provided:
+
+* :class:`~repro.storage.memory.InMemoryStorage` — deterministic, survives a
+  *simulated* crash (the harness keeps the storage object while tearing the
+  replica down), used by the simulator and the fuzz stack;
+* :class:`~repro.storage.file.FileStorage` — real files: length-prefixed
+  CRC-checked frames, fsync batching, torn-tail truncation on open.
+
+:mod:`~repro.storage.recovery` holds the glue that restores a protocol
+group's history state from a :class:`Storage` at boot.
+"""
+
+from .base import WAL, Storage, StorageError
+from .file import FileStorage
+from .memory import InMemoryStorage
+from .recovery import attach_group_storage
+
+__all__ = [
+    "WAL",
+    "Storage",
+    "StorageError",
+    "FileStorage",
+    "InMemoryStorage",
+    "attach_group_storage",
+]

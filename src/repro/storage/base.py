@@ -1,0 +1,76 @@
+"""Abstract durable-storage interfaces (WAL + snapshots).
+
+The contract is deliberately tiny so the same protocol code runs against the
+deterministic in-memory backend in the simulator/fuzzer and against real
+files in the asyncio runtime:
+
+* records appended to a :class:`WAL` must be JSON-serializable values; the
+  backend owns the encoding.  ``append`` is durable once :meth:`WAL.sync`
+  returns (backends may batch fsyncs — see :class:`~repro.storage.file.FileWAL`
+  for what that trades away);
+* :meth:`WAL.records` returns every surviving record in append order — after
+  a crash that may exclude a torn or unsynced tail, never reorder or invent
+  records;
+* :meth:`WAL.reset` atomically replaces the log's contents (used when a
+  snapshot makes the prefix redundant, and by acceptor-state compaction);
+* :meth:`Storage.write_snapshot` atomically replaces the named snapshot —
+  a reader sees either the old or the new payload, never a torn mix.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterable, List, Optional
+
+
+class StorageError(Exception):
+    """Raised when a storage backend hits an unrecoverable problem."""
+
+
+class WAL(ABC):
+    """An append-only log of JSON-able records."""
+
+    @abstractmethod
+    def append(self, record: Any) -> None:
+        """Append one record (durable after the next :meth:`sync`)."""
+
+    @abstractmethod
+    def records(self) -> List[Any]:
+        """All surviving records, in append order."""
+
+    @abstractmethod
+    def reset(self, records: Iterable[Any] = ()) -> None:
+        """Atomically replace the log's contents with ``records``."""
+
+    @abstractmethod
+    def sync(self) -> None:
+        """Force everything appended so far to durable storage."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of records currently in the log."""
+
+    def close(self) -> None:
+        """Release backend resources (no-op by default)."""
+
+
+class Storage(ABC):
+    """A namespace of WALs plus atomically replaced snapshots."""
+
+    @abstractmethod
+    def wal(self, name: str) -> WAL:
+        """Open (creating if needed) the WAL called ``name``."""
+
+    @abstractmethod
+    def write_snapshot(self, name: str, payload: Any) -> None:
+        """Atomically replace snapshot ``name`` with ``payload`` (JSON-able)."""
+
+    @abstractmethod
+    def read_snapshot(self, name: str) -> Optional[Any]:
+        """Return snapshot ``name``'s payload, or ``None`` if absent."""
+
+    def sync(self) -> None:
+        """Force all pending writes to durable storage (no-op by default)."""
+
+    def close(self) -> None:
+        """Release backend resources (no-op by default)."""

@@ -1,0 +1,228 @@
+"""File-backed storage: CRC-framed append-only WAL segments + snapshots.
+
+WAL file format — a sequence of frames, nothing else::
+
+    [u32 payload length][u32 CRC-32 of payload][payload: UTF-8 JSON]
+
+(big-endian, mirroring the runtime's length-prefixed wire framing).  A crash
+can leave at most a *torn tail*: a final frame whose header, payload, or CRC
+is incomplete or wrong.  :meth:`FileWAL` handles that on open by truncating
+the file back to the last complete, CRC-valid frame — records before the tear
+are untouched, records after it never existed durably.
+
+Durability knob: ``fsync_every`` batches fsyncs — an fsync is issued every
+N appends instead of on every append.  That caps the worst-case loss on a
+*machine* crash at the last N records (a mere process crash loses nothing:
+the OS still has the written pages).  Callers that need a hard durability
+point (the Paxos acceptor before replying) call :meth:`FileWAL.sync`
+explicitly or use ``fsync_every=1``.
+
+Snapshots are written to a temporary file, fsynced, then atomically renamed
+over the old snapshot, so a reader sees the old or the new payload — never a
+torn mix.  :meth:`FileWAL.reset` replaces a WAL the same way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Any, Dict, Iterable, List, Optional
+
+from .base import WAL, Storage, StorageError
+
+_HEADER = struct.Struct(">II")  # (payload length, CRC-32 of payload)
+
+#: Refuse absurd frames (corrupt length field) instead of allocating gigabytes.
+MAX_RECORD_BYTES = 16 * 1024 * 1024
+
+
+def _encode_record(record: Any) -> bytes:
+    try:
+        payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise StorageError(f"record is not JSON-serializable: {exc}") from exc
+    if len(payload) > MAX_RECORD_BYTES:
+        raise StorageError(f"record too large: {len(payload)} bytes")
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _scan_frames(data: bytes) -> "tuple[List[Any], int]":
+    """Parse frames out of ``data``; returns (records, end-of-last-good-frame).
+
+    Stops at the first torn or corrupt frame — everything from there on is
+    treated as a tail to truncate (an interior corruption also invalidates
+    everything after it: frame boundaries can no longer be trusted).
+    """
+    records: List[Any] = []
+    offset = 0
+    total = len(data)
+    while offset + _HEADER.size <= total:
+        length, crc = _HEADER.unpack_from(data, offset)
+        if length > MAX_RECORD_BYTES:
+            break  # corrupt length field
+        start = offset + _HEADER.size
+        end = start + length
+        if end > total:
+            break  # short read: torn payload
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            break  # bad CRC
+        try:
+            records.append(json.loads(payload.decode("utf-8")))
+        except (UnicodeDecodeError, ValueError):
+            break  # CRC collision on garbage; treat as torn
+        offset = end
+    return records, offset
+
+
+class FileWAL(WAL):
+    """One append-only CRC-framed WAL file with batched fsyncs."""
+
+    def __init__(self, path: str, fsync_every: int = 64) -> None:
+        if fsync_every < 1:
+            raise ValueError("fsync_every must be >= 1")
+        self.path = path
+        self._fsync_every = fsync_every
+        self._unsynced = 0
+        self._records = self._recover()
+        self._file = open(self.path, "ab")
+
+    # ------------------------------------------------------------------ open
+    def _recover(self) -> List[Any]:
+        """Load surviving records, truncating any torn tail in place."""
+        if not os.path.exists(self.path):
+            return []
+        with open(self.path, "rb") as fh:
+            data = fh.read()
+        records, good_end = _scan_frames(data)
+        if good_end < len(data):
+            with open(self.path, "r+b") as fh:
+                fh.truncate(good_end)
+                fh.flush()
+                os.fsync(fh.fileno())
+        return records
+
+    # ------------------------------------------------------------------- api
+    def append(self, record: Any) -> None:
+        frame = _encode_record(record)
+        self._file.write(frame)
+        self._records.append(json.loads(frame[_HEADER.size :].decode("utf-8")))
+        self._unsynced += 1
+        if self._unsynced >= self._fsync_every:
+            self.sync()
+        else:
+            self._file.flush()
+
+    def records(self) -> List[Any]:
+        return list(self._records)
+
+    def reset(self, records: Iterable[Any] = ()) -> None:
+        new_records = list(records)
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "wb") as fh:
+            for record in new_records:
+                fh.write(_encode_record(record))
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._file.close()
+        os.replace(tmp_path, self.path)
+        _fsync_dir(os.path.dirname(self.path))
+        self._file = open(self.path, "ab")
+        self._records = [json.loads(json.dumps(r)) for r in new_records]
+        self._unsynced = 0
+
+    def sync(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._unsynced = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self.sync()
+            self._file.close()
+
+
+def _fsync_dir(path: str) -> None:
+    """fsync a directory so renames/creations inside it are durable."""
+    fd = os.open(path or ".", os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _safe_name(name: str) -> str:
+    return "".join(c if c.isalnum() or c in "._-" else "_" for c in name)
+
+
+class FileStorage(Storage):
+    """Directory-per-node storage: ``<dir>/<name>.wal`` + ``<dir>/<name>.snap``."""
+
+    def __init__(self, root: str, fsync_every: int = 64) -> None:
+        self.root = root
+        self._fsync_every = fsync_every
+        os.makedirs(root, exist_ok=True)
+        self._open_wals: Dict[str, FileWAL] = {}
+
+    def wal(self, name: str) -> FileWAL:
+        # Reopening a name returns the live handle: the file backend has a
+        # single process owning the directory, and two handles appending to
+        # one file would interleave frames unpredictably.
+        existing = self._open_wals.get(name)
+        if existing is not None and not existing._file.closed:
+            return existing
+        wal = FileWAL(
+            os.path.join(self.root, _safe_name(name) + ".wal"),
+            fsync_every=self._fsync_every,
+        )
+        self._open_wals[name] = wal
+        return wal
+
+    def _snap_path(self, name: str) -> str:
+        return os.path.join(self.root, _safe_name(name) + ".snap")
+
+    def write_snapshot(self, name: str, payload: Any) -> None:
+        path = self._snap_path(name)
+        tmp_path = path + ".tmp"
+        try:
+            body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise StorageError(f"snapshot is not JSON-serializable: {exc}") from exc
+        with open(tmp_path, "wb") as fh:
+            fh.write(_HEADER.pack(len(body), zlib.crc32(body)))
+            fh.write(body)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+        _fsync_dir(self.root)
+
+    def read_snapshot(self, name: str) -> Optional[Any]:
+        path = self._snap_path(name)
+        if not os.path.exists(path):
+            return None
+        with open(path, "rb") as fh:
+            data = fh.read()
+        if len(data) < _HEADER.size:
+            raise StorageError(f"snapshot {name!r} is truncated")
+        length, crc = _HEADER.unpack_from(data, 0)
+        body = data[_HEADER.size : _HEADER.size + length]
+        if len(body) != length or zlib.crc32(body) != crc:
+            # Snapshots are written atomically (tmp + rename), so a bad CRC is
+            # genuine corruption, not a torn write — surface it loudly.
+            raise StorageError(f"snapshot {name!r} failed its CRC check")
+        return json.loads(body.decode("utf-8"))
+
+    def sync(self) -> None:
+        for wal in self._open_wals.values():
+            if not wal._file.closed:
+                wal.sync()
+
+    def close(self) -> None:
+        for wal in self._open_wals.values():
+            wal.close()
+        self._open_wals.clear()

@@ -46,6 +46,65 @@ class CompletedTransaction:
     destination_set: frozenset = frozenset()
 
 
+class BoundedResubmitter:
+    """Bounded resubmit-on-timeout for fire-and-forget submissions.
+
+    The fuzz harness's crash profiles submit requests without waiting for
+    responses; a request addressed to a replica that crashes before ordering
+    it would simply vanish.  This helper re-arms a timer per tracked key and
+    re-sends while the key is unsettled, up to ``max_retries`` attempts —
+    bounded, so a genuinely undeliverable request cannot spin forever.
+    Safe against over-delivery because the whole submission path is
+    idempotent: the SMR layer's shared reported-set and the protocol's
+    duplicate absorption turn a re-submission of an already-delivered
+    request into a no-op.
+
+    Decoupled from transport and clock: ``resend(key)`` performs the
+    re-submission, ``is_settled(key)`` checks delivery, and
+    ``schedule(delay_ms, callback)`` arms timers (the simulator's event loop
+    in fuzzing; anything with the same shape elsewhere).
+    """
+
+    def __init__(
+        self,
+        resend: Callable[[str], None],
+        is_settled: Callable[[str], bool],
+        schedule: Callable[[float, Callable[[], None]], object],
+        timeout_ms: float,
+        max_retries: int = 4,
+    ) -> None:
+        if timeout_ms <= 0:
+            raise ValueError("timeout_ms must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self._resend = resend
+        self._is_settled = is_settled
+        self._schedule = schedule
+        self._timeout_ms = timeout_ms
+        self._max_retries = max_retries
+        #: Total re-submissions performed (stats/tests).
+        self.retries = 0
+        #: Keys still unsettled after the retry budget ran out.
+        self.exhausted: List[str] = []
+
+    def track(self, key: str) -> None:
+        """Start watching ``key``; first timeout check fires in one period."""
+        self._arm(key, attempt=0)
+
+    def _arm(self, key: str, attempt: int) -> None:
+        self._schedule(self._timeout_ms, lambda: self._check(key, attempt))
+
+    def _check(self, key: str, attempt: int) -> None:
+        if self._is_settled(key):
+            return
+        if attempt >= self._max_retries:
+            self.exhausted.append(key)
+            return
+        self.retries += 1
+        self._resend(key)
+        self._arm(key, attempt + 1)
+
+
 class ClosedLoopClient:
     """A closed-loop gTPC-C client living at one region of the simulated WAN."""
 

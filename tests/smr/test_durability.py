@@ -1,0 +1,232 @@
+"""SMR durability: acceptor stable storage, commit-log replay, rejoin catch-up."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.events import EventLoop
+from repro.sim.latencies import LatencyMatrix
+from repro.sim.network import Network
+from repro.sim.transport import SimTransport
+from repro.smr.multipaxos import MultiPaxosReplica
+from repro.smr.paxos import ZERO_BALLOT, Accept, Acceptor, Ballot, Nack, Prepare, Promise
+from repro.storage import InMemoryStorage
+
+
+# ----------------------------------------------------------------- acceptor WAL
+class TestAcceptorDurability:
+    def test_restarted_acceptor_never_repromises_below_durable_ballot(self):
+        """The Paxos stable-storage requirement, pinned.
+
+        An acceptor that promised ballot (5, 1) before crashing must keep
+        refusing lower ballots after a restart — otherwise two proposers can
+        both believe they own the instance and safety is gone.
+        """
+        storage = InMemoryStorage()
+        acceptor = Acceptor("r0", wal=storage.wal("r0.acceptor"))
+        high = Ballot(round=5, proposer=1)
+        assert isinstance(acceptor.on_prepare(Prepare(instance=0, ballot=high)), Promise)
+
+        # Crash: the object dies, the storage survives.
+        restarted = Acceptor("r0", wal=storage.wal("r0.acceptor"))
+        assert restarted.promised_ballot(0) == high
+        low = Ballot(round=3, proposer=0)
+        assert isinstance(restarted.on_prepare(Prepare(instance=0, ballot=low)), Nack)
+        assert isinstance(
+            restarted.on_accept(Accept(instance=0, ballot=low, value="v")), Nack
+        )
+
+    def test_accepted_value_survives_restart_and_feeds_recovery(self):
+        storage = InMemoryStorage()
+        acceptor = Acceptor("r0", wal=storage.wal("w"))
+        ballot = Ballot(round=2, proposer=0)
+        acceptor.on_prepare(Prepare(instance=3, ballot=ballot))
+        acceptor.on_accept(Accept(instance=3, ballot=ballot, value={"cmd": "x"}))
+
+        restarted = Acceptor("r0", wal=storage.wal("w"))
+        assert restarted.accepted_value(3) == {"cmd": "x"}
+        # A later prepare must report the accepted value (Paxos adoption rule).
+        promise = restarted.on_prepare(Prepare(instance=3, ballot=Ballot(9, 1)))
+        assert isinstance(promise, Promise)
+        assert promise.accepted_ballot == ballot
+        assert promise.accepted_value == {"cmd": "x"}
+
+    def test_persist_happens_before_reply(self):
+        """The WAL already holds the promise when on_prepare returns."""
+        storage = InMemoryStorage()
+        acceptor = Acceptor("r0", wal=storage.wal("w"))
+        acceptor.on_prepare(Prepare(instance=0, ballot=Ballot(1, 0)))
+        assert ["p", 0, [1, 0]] in storage.wal("w").records()
+        acceptor.on_accept(Accept(instance=0, ballot=Ballot(1, 0), value="v"))
+        assert ["a", 0, [1, 0], "v"] in storage.wal("w").records()
+
+    def test_wal_compaction_preserves_state(self):
+        storage = InMemoryStorage()
+        wal = storage.wal("w")
+        acceptor = Acceptor("r0", wal=wal)
+        # Many generations of retried ballots on a few instances force the
+        # fold-to-current-state compaction.
+        for round_no in range(120):
+            acceptor.on_prepare(Prepare(instance=round_no % 3, ballot=Ballot(round_no, 0)))
+        acceptor.on_accept(Accept(instance=1, ballot=Ballot(200, 0), value="kept"))
+        assert len(wal) < 120  # compaction actually ran
+
+        restarted = Acceptor("r0", wal=storage.wal("w"))
+        for instance in range(3):
+            assert restarted.promised_ballot(instance) == acceptor.promised_ballot(
+                instance
+            )
+        assert restarted.accepted_value(1) == "kept"
+
+    def test_value_codec_round_trips_through_wal(self):
+        storage = InMemoryStorage()
+        acceptor = Acceptor(
+            "r0",
+            wal=storage.wal("w"),
+            encode_value=lambda v: {"wire": v},
+            decode_value=lambda v: v["wire"],
+        )
+        ballot = Ballot(0, 0)
+        acceptor.on_accept(Accept(instance=0, ballot=ballot, value="native"))
+        assert storage.wal("w").records() == [["a", 0, [0, 0], {"wire": "native"}]]
+        restarted = Acceptor(
+            "r0",
+            wal=storage.wal("w"),
+            encode_value=lambda v: {"wire": v},
+            decode_value=lambda v: v["wire"],
+        )
+        assert restarted.accepted_value(0) == "native"
+
+    def test_unknown_wal_record_rejected(self):
+        storage = InMemoryStorage()
+        storage.wal("w").append(["z", 0, [0, 0]])
+        with pytest.raises(ValueError):
+            Acceptor("r0", wal=storage.wal("w"))
+
+
+# ------------------------------------------------------------------- multipaxos
+def deploy(storage_by_id=None, n=3):
+    loop = EventLoop()
+    matrix = LatencyMatrix(
+        matrix=[[1.0 if a != b else 0.1 for b in range(n)] for a in range(n)],
+        names=[f"s{i}" for i in range(n)],
+    )
+    network = Network(loop, matrix)
+    ids = [f"r{i}" for i in range(n)]
+    applied = {rid: [] for rid in ids}
+    replicas = {}
+    for i, rid in enumerate(ids):
+        storage = (storage_by_id or {}).get(rid)
+        replicas[rid] = MultiPaxosReplica(
+            rid,
+            ids,
+            SimTransport(network, rid),
+            apply=lambda inst, value, rid=rid: applied[rid].append(value),
+            acceptor_wal=storage.wal(f"{rid}.acceptor") if storage else None,
+            log_wal=storage.wal(f"{rid}.log") if storage else None,
+        )
+        network.register(rid, site=i, handler=replicas[rid].on_message)
+    return loop, network, replicas, applied
+
+
+class TestCommitLogReplay:
+    def test_restart_replays_applied_prefix_without_network(self):
+        storage = {"r0": InMemoryStorage()}
+        loop, _, replicas, applied = deploy(storage)
+        for i in range(4):
+            replicas["r0"].submit(f"cmd-{i}")
+        loop.run_until_idle()
+        assert applied["r0"] == [f"cmd-{i}" for i in range(4)]
+
+        # Rebuild r0 from its WALs alone: fresh loop, no peers reachable.
+        replay = []
+        rebuilt = MultiPaxosReplica(
+            "r0",
+            ["r0"],
+            SimTransport(Network(EventLoop(), LatencyMatrix([[0.1]], ["s0"])), "r0"),
+            apply=lambda inst, value: replay.append(value),
+            log_wal=storage["r0"].wal("r0.log"),
+        )
+        assert replay == applied["r0"]
+        assert rebuilt.recovered_instances == 4
+        assert rebuilt.log == applied["r0"]
+        assert rebuilt._next_instance == 4
+
+    def test_unknown_commit_record_rejected(self):
+        storage = InMemoryStorage()
+        storage.wal("log").append(["x", 0, "v"])
+        with pytest.raises(ValueError):
+            deploy_one_with_log(storage)
+
+    def test_rejoin_catches_up_on_missed_decisions(self):
+        storage = {"r2": InMemoryStorage()}
+        loop, network, replicas, applied = deploy(storage)
+        replicas["r0"].submit("before")
+        loop.run_until_idle()
+
+        # r2 crashes after applying "before".
+        network.unregister("r2")
+        for rid in ("r0", "r1"):
+            replicas[rid].mark_failed("r2")
+        replicas["r0"].submit("while-down-1")
+        replicas["r0"].submit("while-down-2")
+        loop.run_until_idle()
+        assert applied["r0"] == ["before", "while-down-1", "while-down-2"]
+
+        # Restart r2 from its WALs; rejoin() pulls the missed suffix.
+        rebuilt_applied = []
+        rebuilt = MultiPaxosReplica(
+            "r2",
+            ["r0", "r1", "r2"],
+            SimTransport(network, "r2"),
+            apply=lambda inst, value: rebuilt_applied.append(value),
+            acceptor_wal=storage["r2"].wal("r2.acceptor"),
+            log_wal=storage["r2"].wal("r2.log"),
+        )
+        assert rebuilt_applied == ["before"]  # local replay only
+        network.register("r2", site=2, handler=rebuilt.on_message)
+        rebuilt.rejoin()
+        loop.run_until_idle()
+        assert rebuilt_applied == ["before", "while-down-1", "while-down-2"]
+        # Peers re-admitted the restarted replica.
+        assert "r2" in replicas["r0"].alive
+
+    def test_rejoined_replica_keeps_ordering_with_new_commands(self):
+        storage = {"r1": InMemoryStorage()}
+        loop, network, replicas, applied = deploy(storage)
+        replicas["r0"].submit("a")
+        loop.run_until_idle()
+        network.unregister("r1")
+        for rid in ("r0", "r2"):
+            replicas[rid].mark_failed("r1")
+        replicas["r0"].submit("b")
+        loop.run_until_idle()
+
+        rebuilt_applied = []
+        rebuilt = MultiPaxosReplica(
+            "r1",
+            ["r0", "r1", "r2"],
+            SimTransport(network, "r1"),
+            apply=lambda inst, value: rebuilt_applied.append(value),
+            acceptor_wal=storage["r1"].wal("r1.acceptor"),
+            log_wal=storage["r1"].wal("r1.log"),
+        )
+        network.register("r1", site=1, handler=rebuilt.on_message)
+        rebuilt.rejoin()
+        loop.run_until_idle()
+        replicas["r0"].submit("c")
+        loop.run_until_idle()
+        assert rebuilt_applied == ["a", "b", "c"]
+        assert applied["r0"] == ["a", "b", "c"]
+
+
+def deploy_one_with_log(storage):
+    loop = EventLoop()
+    network = Network(loop, LatencyMatrix([[0.1]], ["s0"]))
+    return MultiPaxosReplica(
+        "r0",
+        ["r0"],
+        SimTransport(network, "r0"),
+        apply=lambda inst, value: None,
+        log_wal=storage.wal("log"),
+    )

@@ -1,0 +1,57 @@
+"""InMemoryStorage: determinism, JSON-normalization parity, crash survival."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import InMemoryStorage, StorageError
+
+
+def test_wal_survives_handle_loss():
+    # The simulated-crash model: the replica (and its WAL handle) dies, the
+    # storage object survives; a fresh handle sees everything.
+    storage = InMemoryStorage()
+    wal = storage.wal("r0.log")
+    wal.append(["c", 0, "cmd"])
+    del wal
+    assert storage.wal("r0.log").records() == [["c", 0, "cmd"]]
+
+
+def test_normalization_mirrors_json_round_trip():
+    storage = InMemoryStorage()
+    wal = storage.wal("w")
+    wal.append(["v", "m1", (0, 1)])
+    assert wal.records() == [["v", "m1", [0, 1]]]  # tuple became a list
+    with pytest.raises(StorageError):
+        wal.append(object())
+    with pytest.raises(StorageError):
+        storage.write_snapshot("s", {1, 2})
+
+
+def test_reset_and_len():
+    wal = InMemoryStorage().wal("w")
+    for i in range(5):
+        wal.append(i)
+    assert len(wal) == 5
+    wal.reset([10, 11])
+    assert wal.records() == [10, 11]
+    assert len(wal) == 2
+
+
+def test_snapshots_and_stats():
+    storage = InMemoryStorage()
+    assert storage.read_snapshot("s") is None
+    storage.write_snapshot("s", {"v": 1})
+    storage.write_snapshot("s", {"v": 2})
+    assert storage.read_snapshot("s") == {"v": 2}
+    assert storage.stats["snapshots"] == 2
+    storage.wal("w").append(1)
+    assert storage.stats["appends"] == 1
+    assert storage.wal_names() == ["w"]
+
+
+def test_normalize_off_passthrough():
+    wal = InMemoryStorage(normalize=False).wal("w")
+    marker = object()
+    wal.append(marker)
+    assert wal.records()[0] is marker

@@ -94,3 +94,71 @@ class TestClosedLoop:
         client.stop()
         loop.run_until_idle()
         assert client.issued <= issued_at_stop + 1
+
+
+class TestBoundedResubmitter:
+    """Unit tests for the crash-profile resubmit-on-timeout helper."""
+
+    def _make(self, settled, timeout_ms=10.0, max_retries=3):
+        from repro.workload.clients import BoundedResubmitter
+
+        loop = EventLoop()
+        resent = []
+        resubmitter = BoundedResubmitter(
+            resend=resent.append,
+            is_settled=lambda key: key in settled,
+            schedule=lambda delay_ms, cb: loop.schedule(delay_ms, cb),
+            timeout_ms=timeout_ms,
+            max_retries=max_retries,
+        )
+        return loop, resent, resubmitter
+
+    def test_settled_key_is_never_resent(self):
+        settled = {"m0"}
+        loop, resent, resubmitter = self._make(settled)
+        resubmitter.track("m0")
+        loop.run_until_idle()
+        assert resent == []
+        assert resubmitter.retries == 0
+        assert resubmitter.exhausted == []
+
+    def test_unsettled_key_resent_until_settled(self):
+        settled = set()
+        loop, resent, resubmitter = self._make(settled)
+        resubmitter.track("m0")
+        # Settle after the second resend (mid-run delivery).
+        original_resend = resubmitter._resend
+
+        def resend_and_maybe_settle(key):
+            original_resend(key)
+            if len(resent) == 2:
+                settled.add(key)
+
+        resubmitter._resend = resend_and_maybe_settle
+        loop.run_until_idle()
+        assert resent == ["m0", "m0"]
+        assert resubmitter.exhausted == []
+
+    def test_retry_budget_is_bounded(self):
+        loop, resent, resubmitter = self._make(set(), max_retries=3)
+        resubmitter.track("m0")
+        loop.run_until_idle()
+        assert resent == ["m0"] * 3
+        assert resubmitter.retries == 3
+        assert resubmitter.exhausted == ["m0"]
+
+    def test_zero_retries_only_records_exhaustion(self):
+        loop, resent, resubmitter = self._make(set(), max_retries=0)
+        resubmitter.track("m0")
+        loop.run_until_idle()
+        assert resent == []
+        assert resubmitter.exhausted == ["m0"]
+
+    def test_invalid_parameters_rejected(self):
+        from repro.workload.clients import BoundedResubmitter
+
+        noop = lambda *a: None  # noqa: E731
+        with pytest.raises(ValueError):
+            BoundedResubmitter(noop, noop, noop, timeout_ms=0.0)
+        with pytest.raises(ValueError):
+            BoundedResubmitter(noop, noop, noop, timeout_ms=1.0, max_retries=-1)
