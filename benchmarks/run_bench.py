@@ -38,6 +38,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.core.flexcast import FlexCastGroup  # noqa: E402
 from repro.core.history import History, HistoryDiffTracker  # noqa: E402
 from repro.core.message import FlexCastBatch, FlexCastTsPropose, Message  # noqa: E402
+from repro.obs import Observability  # noqa: E402
 from repro.overlay.cdag import CDagOverlay  # noqa: E402
 from repro.protocols.base import RecordingSink  # noqa: E402
 from repro.reconfig.monitor import WorkloadMonitor  # noqa: E402
@@ -76,6 +77,49 @@ def _measure(op: Callable[[], None], repeat: int) -> Dict[str, float]:
         elapsed = time.perf_counter() - start
         best = min(best, elapsed / iters)
     return {"ops_per_sec": 1.0 / best, "seconds_per_op": best, "iters": iters}
+
+
+#: Paired-measurement shape: many short alternating slices, best-of each side.
+PAIRED_ROUNDS = 40
+PAIRED_SLICE_SECONDS = 0.03
+
+
+def _measure_paired(
+    base_op: Callable[[], None],
+    variant_op: Callable[[], None],
+    rounds: int = PAIRED_ROUNDS,
+) -> Dict[str, float]:
+    """Best-of paired measurement: the overhead of ``variant_op`` over
+    ``base_op``.
+
+    Sequential measurement (all of A, then all of B, possibly minutes
+    apart) lets machine-speed drift masquerade as overhead — far more than
+    the few percent a tight gate wants to resolve.  Interleaving many short
+    slices (A, B, A, B, ...) samples both operations across the same wall
+    window, and taking the best slice for each side means both per-op times
+    come from the machine's quiet moments, so drift largely cancels.
+    """
+    bests = []
+    iterss = []
+    for op in (base_op, variant_op):
+        op()
+        start = time.perf_counter()
+        op()
+        single = max(time.perf_counter() - start, 1e-9)
+        iterss.append(max(MIN_ITERS, int(PAIRED_SLICE_SECONDS / single)))
+        bests.append(float("inf"))
+    for _ in range(rounds):
+        for slot, op in enumerate((base_op, variant_op)):
+            start = time.perf_counter()
+            for _ in range(iterss[slot]):
+                op()
+            elapsed = time.perf_counter() - start
+            bests[slot] = min(bests[slot], elapsed / iterss[slot])
+    return {
+        "base_ops_per_sec": 1.0 / bests[0],
+        "variant_ops_per_sec": 1.0 / bests[1],
+        "overhead": bests[1] / bests[0],
+    }
 
 
 # ------------------------------------------------------------- benchmark defs
@@ -304,6 +348,36 @@ def bench_delivery_round_durable(size: int) -> Callable[[], None]:
     return op
 
 
+def bench_delivery_round_obs(size: int) -> Callable[[], None]:
+    """``delivery_round`` with the full observability layer attached.
+
+    Same steady-state lca round as ``delivery_round``, but the group carries
+    a metrics registry *and* a lifecycle tracer
+    (:meth:`Observability.with_tracing` — the most expensive configuration:
+    every delivery records stage spans on top of the stats counters).  The
+    gap to ``delivery_round`` is the instrumentation tax on the hot path,
+    which the CI gate bounds at ``--max-obs-overhead`` (1.05 = 5%).
+    """
+    overlay = CDagOverlay(list(range(12)))
+    group = FlexCastGroup(0, overlay, RecordingTransport(0), RecordingSink())
+    group.attach_obs(Observability.with_tracing())
+    for i in range(size):
+        group.history.record_delivery(
+            Message(msg_id=f"fill-{i}", dst=frozenset({0, 3, 7}))
+        )
+    for dest in (3, 7):
+        group.diff_tracker.diff_for(dest, group.history)
+    counter = {"i": 0}
+
+    def op() -> None:
+        counter["i"] += 1
+        group.on_client_request(
+            Message(msg_id=f"bench-{counter['i']}", dst=frozenset({0, 3, 7}))
+        )
+
+    return op
+
+
 def bench_reconfig_plan(size: int) -> Callable[[], None]:
     """One coordinator re-planning pass with ``size`` observations in the
     window (12-region AWS geometry, Asia-shifted workload)."""
@@ -332,6 +406,7 @@ BENCHMARKS: Dict[str, Callable[[int], Callable[[], None]]] = {
     "delivery_round_hybrid": bench_delivery_round_hybrid,
     "delivery_round_batched": bench_delivery_round_batched,
     "delivery_round_durable": bench_delivery_round_durable,
+    "delivery_round_obs": bench_delivery_round_obs,
     "wal_append": bench_wal_append,
     "recovery_replay": bench_recovery_replay,
     "reconfig_plan": bench_reconfig_plan,
@@ -504,7 +579,8 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument(
         "--gate",
         default="diff_for,delivery_round,delivery_round_hybrid,"
-        "delivery_round_batched,delivery_round_durable,wal_append,recovery_replay",
+        "delivery_round_batched,delivery_round_durable,delivery_round_obs,"
+        "wal_append,recovery_replay",
         help="comma-separated benchmarks the --compare gate checks "
         "(default: %(default)s)",
     )
@@ -527,6 +603,13 @@ def main(argv: List[str] | None = None) -> int:
         type=float,
         default=2.0,
         help="with --compare: fail unless delivery_round_durable stays within "
+        "this slowdown factor of delivery_round (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-obs-overhead",
+        type=float,
+        default=1.05,
+        help="with --compare: fail unless delivery_round_obs stays within "
         "this slowdown factor of delivery_round (default: %(default)s)",
     )
     parser.add_argument(
@@ -579,6 +662,21 @@ def main(argv: List[str] | None = None) -> int:
                 f"{measurement['ops_per_sec']:>14,.0f} {unit}"
             )
     report["benchmarks"] = results
+
+    # Instrumentation-tax measurement: delivery_round vs delivery_round_obs,
+    # measured *paired* (interleaved repeats) so machine drift between the
+    # two standalone table entries above cannot masquerade as overhead.
+    obs_overhead: Dict[str, Dict[str, float]] = {}
+    for size in sizes:
+        paired = _measure_paired(
+            bench_delivery_round(size), bench_delivery_round_obs(size)
+        )
+        obs_overhead[str(size)] = paired
+        print(
+            f"     obs_overhead(paired) |H|={size:<6} "
+            f"{paired['overhead']:>13.3f}x"
+        )
+    report["obs_overhead"] = obs_overhead
 
     batch_sizes = [int(b) for b in args.batch_sizes.split(",") if b.strip()]
     if batch_sizes:
@@ -639,6 +737,27 @@ def main(argv: List[str] | None = None) -> int:
                         f"{args.max_durable_overhead:.1f}x slower than "
                         f"delivery_round ({plain_ops:,.0f} op/s)"
                     )
+        # And the observability claim: the metrics/tracing layer must stay
+        # within --max-obs-overhead of the uninstrumented delivery round
+        # (the <=5% instrumentation budget).  Checked against the *paired*
+        # measurement, not the standalone table rows, so machine drift
+        # between rows cannot masquerade as overhead.  The hooks are O(1)
+        # per delivery — a real regression shows up at every history size —
+        # so the gate takes the minimum over sizes, which filters the
+        # additive phase noise a busy runner injects into individual cells.
+        if args.max_obs_overhead > 0 and obs_overhead:
+            best_size, best = min(
+                obs_overhead.items(), key=lambda kv: kv[1]["overhead"]
+            )
+            if best["overhead"] > args.max_obs_overhead:
+                failures.append(
+                    f"obs_overhead: instrumented delivery round is "
+                    f"{best['overhead']:.3f}x the plain round even at its "
+                    f"best size (|H|={best_size}; limit "
+                    f"{args.max_obs_overhead:.2f}x; paired "
+                    f"{best['variant_ops_per_sec']:,.0f} vs "
+                    f"{best['base_ops_per_sec']:,.0f} op/s)"
+                )
         if failures:
             print(f"REGRESSION GATE FAILED vs {args.compare}:")
             for failure in failures:

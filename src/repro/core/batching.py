@@ -36,6 +36,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
 
+from ..obs import STAGE_BATCH_FLUSH, Observability
+from ..obs.registry import SIZE_BUCKETS, Histogram
 from ..overlay.base import GroupId
 from ..protocols.base import AtomicMulticastProtocol
 from .client import MulticastClient
@@ -84,7 +86,47 @@ class BatchingClient(MulticastClient):
         #: The fuzz harness uses this to run the batch-atomicity oracle (a
         #: lost batch must degrade exactly like N lost messages).
         self.batch_log: List[Tuple[str, Tuple[str, ...]]] = []
-        self.stats = {"batches_sent": 0, "singles_sent": 0, "messages_batched": 0}
+        self.stats = {
+            "batches_sent": 0,
+            "singles_sent": 0,
+            "messages_batched": 0,
+            # Why each window closed (size trigger / delay timer / explicit
+            # flush call) — the knob feedback the SLO autopilot will read.
+            "flush_size": 0,
+            "flush_timer": 0,
+            "flush_explicit": 0,
+        }
+        #: Window-occupancy histogram (``None`` until attach_obs).
+        self._occupancy_hist: Optional[Histogram] = None
+
+    def attach_obs(self, obs: Observability) -> None:
+        """Attach an observability hub (extends the base ``submit`` spans).
+
+        Registers callback counters over :attr:`stats` (flush reasons,
+        batch/single counts) and a window-occupancy histogram observed
+        once per closed window.
+        """
+        super().attach_obs(obs)
+        labels = {"client": self.client_id}
+        for key in self.stats:
+            obs.registry.counter(
+                f"batching_{key}_total",
+                f"Batching client event count: {key.replace('_', ' ')}.",
+                labels,
+                fn=(lambda k=key: self.stats[k]),
+            )
+        obs.registry.gauge(
+            "batching_buffered",
+            "Messages currently waiting in open windows.",
+            labels,
+            fn=lambda: self.buffered,
+        )
+        self._occupancy_hist = obs.registry.histogram(
+            "batching_window_occupancy",
+            "Messages per closed window (1 = shipped as a plain request).",
+            labels,
+            bounds=SIZE_BUCKETS,
+        )
 
     # -------------------------------------------------------------- dispatch
     def _dispatch(self, message: Message) -> None:
@@ -99,7 +141,7 @@ class BatchingClient(MulticastClient):
         buffer = self._buffers.setdefault(key, [])
         buffer.append(message)
         if len(buffer) >= self.max_batch:
-            self._flush_window(key)
+            self._flush_window(key, reason="size")
         elif self._schedule is not None and key not in self._timers:
             self._timers[key] = self._schedule(
                 self.max_delay_ms, lambda key=key: self._on_timer(key)
@@ -107,9 +149,11 @@ class BatchingClient(MulticastClient):
 
     def _on_timer(self, key: FrozenSet[GroupId]) -> None:
         self._timers.pop(key, None)
-        self._flush_window(key)
+        self._flush_window(key, reason="timer")
 
-    def _flush_window(self, key: FrozenSet[GroupId]) -> None:
+    def _flush_window(
+        self, key: FrozenSet[GroupId], reason: str = "explicit"
+    ) -> None:
         """Close one destination-set window and ship its contents."""
         timer = self._timers.pop(key, None)
         if timer is not None and hasattr(timer, "cancel"):
@@ -117,6 +161,15 @@ class BatchingClient(MulticastClient):
         buffer = self._buffers.pop(key, None)
         if not buffer:
             return
+        self.stats[f"flush_{reason}"] += 1
+        if self._occupancy_hist is not None:
+            self._occupancy_hist.observe(float(len(buffer)))
+        if self._tracer is not None:
+            now = self._clock()
+            for member in buffer:
+                self._tracer.record(
+                    member.trace, STAGE_BATCH_FLUSH, now, self.client_id, reason
+                )
         if len(buffer) == 1:
             # A window of one is shipped exactly as the unbatched client
             # would — same envelope, same route — so partially filled

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
+from ..obs import STAGE_SUBMIT, Observability, Tracer
 from ..overlay.base import GroupId
 from ..protocols.base import AtomicMulticastProtocol
 from .message import ClientRequest, Message
@@ -73,6 +74,12 @@ class MulticastClient:
         self._clock = clock
         self.inflight: Dict[str, MulticastCall] = {}
         self.completed: List[MulticastCall] = []
+        #: Lifecycle tracer (``None`` = off); see :meth:`attach_obs`.
+        self._tracer: Optional[Tracer] = None
+
+    def attach_obs(self, obs: Observability) -> None:
+        """Attach an observability hub: submissions get ``submit`` spans."""
+        self._tracer = obs.tracer
 
     # ---------------------------------------------------------------- sending
     def multicast(
@@ -100,6 +107,10 @@ class MulticastClient:
         """Start tracking responses for ``message`` (submission time = now)."""
         call = MulticastCall(message=message, submitted_at=self._clock())
         self.inflight[message.msg_id] = call
+        if self._tracer is not None:
+            self._tracer.record(
+                message.trace, STAGE_SUBMIT, call.submitted_at, self.client_id
+            )
         return call
 
     def _dispatch(self, message: Message) -> None:

@@ -60,6 +60,16 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
+from ..obs import (
+    STAGE_DELIVER,
+    STAGE_ENQUEUE,
+    STAGE_FANOUT,
+    STAGE_PIVOT_WAIT,
+    STAGE_TS_WAIT,
+    Observability,
+    Tracer,
+)
+from ..obs.registry import SIZE_BUCKETS, Histogram
 from ..overlay.base import GroupId
 from ..overlay.cdag import CDagOverlay
 from ..protocols.base import (
@@ -104,6 +114,10 @@ class PendingMessage:
 
 #: Upper bound on remembered acked pivots (see ``_notif_pivots``).
 _MAX_PIVOTS = 64
+
+#: Observe every Nth non-empty diff in the size histogram (weighted by N so
+#: the histogram still estimates the full population); see ``_diff_for``.
+DIFF_SAMPLE_EVERY = 4
 
 
 @dataclass
@@ -243,7 +257,125 @@ class FlexCastGroup(AtomicMulticastGroup):
             "guard_escapes": 0,
             "ts_proposals_sent": 0,
             "ts_proposals_received": 0,
+            "reprocess_passes": 0,
+            "pivot_guard_stalls": 0,
+            # Steady-state diffs are almost always empty (the tracker is up
+            # to date); they are tallied here instead of as histogram
+            # samples so per-send instrumentation stays a dict increment.
+            "empty_diffs": 0,
         }
+        #: Lifecycle tracer (``None`` = tracing off; set by attach_obs).
+        #: Hot paths guard every trace hook on this attribute, so an
+        #: uninstrumented group pays one ``is not None`` check at most.
+        self._tracer: Optional[Tracer] = None
+        #: Site tag stamped on trace events recorded by this group.
+        self._site = f"g{group_id}"
+        #: Diff-size histogram (``None`` until attach_obs registers it).
+        self._diff_size_hist: Optional[Histogram] = None
+        #: Sampling phase for the diff-size histogram; starts one short of
+        #: the period so the very first non-empty diff is always observed
+        #: (short runs still produce a populated histogram).
+        self._diff_sample_tick = DIFF_SAMPLE_EVERY - 1
+
+    # --------------------------------------------------------- observability
+    def attach_obs(self, obs: Observability) -> None:
+        """Attach the observability hub: counters, gauges, tracing.
+
+        Everything registered here is pull-based — callback counters over
+        the existing ``stats`` dict and callback gauges over state sizes
+        the group already maintains — so attaching adds **no** hot-path
+        work beyond the ``is not None`` tracer guards.  The two ``leak``
+        gauges encode the PR-4/PR-5 hygiene fixes as standing invariants:
+        they must read zero after any clean run (the fuzz harness's
+        end-of-run leak oracle enforces exactly that).
+        """
+        super().attach_obs(obs)
+        self._tracer = obs.tracer
+        registry = obs.registry
+        labels = {"group": str(self.group_id)}
+        for key in self.stats:
+            registry.counter(
+                f"flexcast_{key}_total",
+                f"FlexCast protocol event count: {key.replace('_', ' ')}.",
+                labels,
+                fn=(lambda k=key: self.stats[k]),  # noqa: B008 - bind key
+            )
+        registry.gauge(
+            "flexcast_queue_depth",
+            "Undelivered messages across all ancestor queues.",
+            labels,
+            fn=lambda: sum(len(q) for q in self.queues.values()),
+        )
+        registry.gauge(
+            "flexcast_pending_size",
+            "Per-message protocol-state entries currently held.",
+            labels,
+            fn=lambda: len(self.pending),
+        )
+        registry.gauge(
+            "flexcast_member_index_size",
+            "Batch member->carrier index entries currently held.",
+            labels,
+            fn=lambda: len(self._batch_members),
+        )
+        registry.gauge(
+            "flexcast_open_dependencies",
+            "History vertices addressed here and not yet delivered.",
+            labels,
+            fn=lambda: len(self._undelivered_to_me),
+        )
+        registry.gauge(
+            "flexcast_pending_notifications",
+            "Strategy (c) notifs parked behind open dependencies.",
+            labels,
+            fn=lambda: len(self.pending_notifications),
+        )
+        registry.gauge(
+            "flexcast_notif_pivots",
+            "Acked pivots the pivot-consistency guard is honouring.",
+            labels,
+            fn=lambda: len(self._notif_pivots),
+        )
+        registry.gauge(
+            "flexcast_ts_pending",
+            "Hybrid timestamp entries awaiting a final timestamp.",
+            labels,
+            fn=lambda: self.ts.pending_count() if self.ts is not None else 0,
+        )
+        registry.gauge(
+            "flexcast_leaked_pending_entries",
+            "Pending entries whose id the history already forgot "
+            "(leak invariant: must be zero).",
+            labels,
+            fn=self._leaked_pending_entries,
+        )
+        registry.gauge(
+            "flexcast_member_index_orphans",
+            "Member-index entries whose carrier has no pending entry "
+            "(leak invariant: must be zero).",
+            labels,
+            fn=self._member_index_orphans,
+        )
+        self.history.register_metrics(registry, labels)
+        self._diff_size_hist = registry.histogram(
+            "flexcast_diff_size_items",
+            "History-delta size (vertices + edges) per shipped non-empty "
+            "diff (empty diffs are counted by flexcast_empty_diffs_total).",
+            labels,
+            bounds=SIZE_BUCKETS,
+        )
+
+    def _leaked_pending_entries(self) -> int:
+        """Pending entries for ids the flush GC already forgot (leak)."""
+        history = self.history
+        return sum(1 for mid in self.pending if history.is_forgotten(mid))
+
+    def _member_index_orphans(self) -> int:
+        """Member-index entries whose carrier lost its pending entry (leak)."""
+        pending = self.pending
+        return sum(
+            1 for carrier in self._batch_members.values() if carrier not in pending
+        )
 
     # --------------------------------------------------------------- helpers
     def _rank(self, group: GroupId) -> int:
@@ -305,6 +437,28 @@ class FlexCastGroup(AtomicMulticastGroup):
     def lca_of(self, message: Message) -> GroupId:
         """The lowest common ancestor (entry group) of ``message``."""
         return self.overlay.lca(message.dst)
+
+    def _diff_for(self, dest: GroupId) -> HistoryDelta:
+        """``diff-hst`` for ``dest``, observing the delta size when attached.
+
+        This sits on the per-send hot path, so the bookkeeping is budgeted:
+        empty diffs go to the ``empty_diffs`` stat (a dict increment), and
+        non-empty sizes are observed 1-in-:data:`DIFF_SAMPLE_EVERY` with a
+        compensating weight — an unbiased estimate of the distribution at a
+        quarter of the histogram cost.  This split is what holds per-send
+        instrumentation inside the <=5% budget the CI bench gate enforces.
+        """
+        delta = self.diff_tracker.diff_for(dest, self.history)
+        if not delta.vertices and not delta.edges:
+            self.stats["empty_diffs"] += 1
+        elif self._diff_size_hist is not None:
+            self._diff_sample_tick += 1
+            if self._diff_sample_tick >= DIFF_SAMPLE_EVERY:
+                self._diff_sample_tick = 0
+                self._diff_size_hist.observe(
+                    float(len(delta)), weight=DIFF_SAMPLE_EVERY
+                )
+        return delta
 
     def _merge_history(self, delta: HistoryDelta) -> None:
         """Merge an incoming delta and index its new open dependencies.
@@ -398,6 +552,14 @@ class FlexCastGroup(AtomicMulticastGroup):
         if self._may_enqueue(entry, message):
             self.queues[self.lca_of(message)].append(message)
             entry.enqueued = True
+            if self._tracer is not None:
+                self._tracer.record(
+                    message.trace,
+                    STAGE_ENQUEUE,
+                    self.transport.now(),
+                    self._site,
+                    "msg",
+                )
         elif created:
             self._discard_created_entry(message)
         self._mark_queue_dirty(self.lca_of(message))
@@ -446,9 +608,27 @@ class FlexCastGroup(AtomicMulticastGroup):
             # from here on the group must not let unrelated messages overtake
             # known predecessors of the pivot (see _pivot_guard_allows).
             self._register_pivot(message)
-            self.send_descendants(message, ack=True)
+            self._send_notif_ack(message)
         # The merged delta may have relaxed (or tightened) guard decisions.
         self.reprocess_queues()
+
+    def _send_notif_ack(self, message: Message) -> None:
+        """Answer a notif with the promised ack (``send-descendants``).
+
+        This group is *not* a destination of ``message``, so its local flush
+        GC may have forgotten the pivot's id already (GC order is per group
+        — it says nothing about the destinations, which may still be waiting
+        for this very ack).  The ack must therefore always go out; what must
+        not survive the call is pending-set state for a forgotten id: such
+        an id never re-enters the history, so no later GC pass could prune
+        the entry and it would leak for the lifetime of the group (the leak
+        gauge ``flexcast_leaked_pending_entries`` and the fuzz harness's
+        end-of-run oracle pin this).
+        """
+        created = message.msg_id not in self.pending
+        self.send_descendants(message, ack=True)
+        if created and self.history.is_forgotten(message.msg_id):
+            self._discard_created_entry(message)
 
     def _on_ts_propose(self, envelope: FlexCastTsPropose) -> None:
         """Hybrid mode: another destination's Skeen proposal for ``message``.
@@ -575,6 +755,14 @@ class FlexCastGroup(AtomicMulticastGroup):
             self._acquire_timestamp(message)
             self.queues[self.group_id].append(message)
             entry.enqueued = True
+            if self._tracer is not None:
+                self._tracer.record(
+                    message.trace,
+                    STAGE_ENQUEUE,
+                    self.transport.now(),
+                    self._site,
+                    "local",
+                )
         elif created:
             self._discard_created_entry(message)
         self._mark_queue_dirty(self.group_id)
@@ -599,6 +787,10 @@ class FlexCastGroup(AtomicMulticastGroup):
             if self.pivot_guard and self._notif_pivots
             else []
         )
+        if self._tracer is not None:
+            self._tracer.record(
+                message.trace, STAGE_DELIVER, self.transport.now(), self._site
+            )
         self.history.record_delivery(message)
         self.delivered_in_g.add(message.msg_id)
         self._undelivered_to_me.discard(message.msg_id)
@@ -622,6 +814,14 @@ class FlexCastGroup(AtomicMulticastGroup):
                 # is already forfeit there, and integrity (deliver-once)
                 # must win over crashing the group.
                 if not self.has_delivered(member.msg_id):
+                    if self._tracer is not None:
+                        self._tracer.record(
+                            member.trace,
+                            STAGE_FANOUT,
+                            self.transport.now(),
+                            self._site,
+                            message.msg_id,
+                        )
                     self.deliver(member)
             # Integrity bookkeeping for the carrier id itself: re-submitted
             # or bounced duplicates of the batch check `has_delivered`
@@ -658,7 +858,7 @@ class FlexCastGroup(AtomicMulticastGroup):
                 # Flushing the parked notif sends the promised ack; the pivot
                 # becomes binding for this group's future delivery order.
                 self._register_pivot(notif.message)
-                self.send_descendants(notif.message, ack=True)
+                self._send_notif_ack(notif.message)
         self.pending_notifications = still_pending
 
         if message.is_flush:
@@ -696,7 +896,7 @@ class FlexCastGroup(AtomicMulticastGroup):
         for dest in self.overlay.descendants(self.group_id):
             if dest not in message.dst:
                 continue
-            delta = self.diff_tracker.diff_for(dest, self.history)
+            delta = self._diff_for(dest)
             if ack:
                 envelope: Envelope = FlexCastAck(
                     message=message,
@@ -734,7 +934,7 @@ class FlexCastGroup(AtomicMulticastGroup):
                 # minimality (genuineness) — and is unnecessary, because it
                 # cannot hold dependencies we created.
                 continue
-            delta = self.diff_tracker.diff_for(dest, self.history)
+            delta = self._diff_for(dest)
             self.send(
                 dest,
                 FlexCastNotif(
@@ -758,6 +958,7 @@ class FlexCastGroup(AtomicMulticastGroup):
         head's condition (enqueue, ack arrival, local delivery, GC) marks the
         affected queue(s) dirty.
         """
+        self.stats["reprocess_passes"] += 1
         dirty = self._dirty_queues
         guard_blocked = False
         while dirty:
@@ -798,6 +999,28 @@ class FlexCastGroup(AtomicMulticastGroup):
                     self.a_deliver(queue[0])
             if queue and self._guard_only_blocked(queue[0]):
                 guard_blocked = True
+                self.stats["pivot_guard_stalls"] += 1
+                if self._tracer is not None:
+                    self._tracer.record(
+                        queue[0].trace,
+                        STAGE_PIVOT_WAIT,
+                        self.transport.now(),
+                        self._site,
+                    )
+            elif (
+                self._tracer is not None
+                and queue
+                and self.ts is not None
+                and self._timestamped(queue[0])
+                and self.ts.is_pending(queue[0].msg_id)
+            ):
+                # Hybrid: the head is waiting out its ts-propose convoy.
+                self._tracer.record(
+                    queue[0].trace,
+                    STAGE_TS_WAIT,
+                    self.transport.now(),
+                    self._site,
+                )
         if guard_blocked and self._escape_timer is None:
             self._escape_timer = self.transport.schedule(
                 self.guard_escape_ms, self._guard_escape_tick

@@ -30,6 +30,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Protocol, Set, Tuple
 
+from ..obs.registry import MetricsRegistry
 from ..overlay.base import GroupId
 from .message import EMPTY_DELTA, HistoryDelta, Message
 
@@ -411,6 +412,54 @@ class History:
 
     def is_forgotten(self, msg_id: str) -> bool:
         return msg_id in self._forgotten
+
+    def register_metrics(
+        self, registry: MetricsRegistry, labels: Dict[str, str]
+    ) -> None:
+        """Register pull-based gauges over this history (see repro.obs).
+
+        Every series is a callback over state the history already
+        maintains (sizes and monotone counters), so registration adds no
+        mutation-path work at all — the values are computed at scrape
+        time.  ``history_forgotten_total`` is the GC forget counter; its
+        rate over scrape intervals is the GC forget rate.
+        """
+        registry.gauge(
+            "history_vertices",
+            "Live vertices currently retained in the history DAG.",
+            labels,
+            fn=lambda: len(self),
+        )
+        registry.gauge(
+            "history_edges",
+            "Dependency edges currently retained in the history DAG.",
+            labels,
+            fn=lambda: self.num_edges,
+        )
+        registry.gauge(
+            "history_journal_len",
+            "Entries in the append-only change journal (post-compaction).",
+            labels,
+            fn=lambda: self.journal_len,
+        )
+        registry.gauge(
+            "history_journal_base",
+            "Sequence number of the oldest retained journal entry.",
+            labels,
+            fn=lambda: self.journal_base,
+        )
+        registry.counter(
+            "history_version_total",
+            "Journal sequence number (total recorded mutations).",
+            labels,
+            fn=lambda: self.version,
+        )
+        registry.counter(
+            "history_forgotten_total",
+            "Vertices forgotten by garbage collection since birth.",
+            labels,
+            fn=lambda: self.forgotten_count,
+        )
 
     # ------------------------------------------------------------- durability
     @property

@@ -78,6 +78,12 @@ class Message:
         declare realistic sizes without materialising the bytes).
     is_flush:
         True for the distinguished garbage-collection messages (§4.3).
+    trace_id:
+        Optional observability correlation id (see :mod:`repro.obs`).
+        ``None`` means "untraced"; the :attr:`trace` property falls back
+        to ``msg_id`` so every message has a usable trace identity.  The
+        id survives the wire (``runtime/codec.py``) so spans recorded on
+        different nodes reassemble into one timeline.
     members:
         Empty for ordinary messages.  Non-empty makes this message a *batch
         carrier*: an ordering unit standing in for the member messages (all
@@ -92,6 +98,7 @@ class Message:
     payload: Any = None
     payload_bytes: int = 64
     is_flush: bool = False
+    trace_id: Optional[str] = None
     members: Tuple["Message", ...] = ()
 
     @staticmethod
@@ -102,6 +109,7 @@ class Message:
         payload_bytes: int = 64,
         msg_id: Optional[str] = None,
         is_flush: bool = False,
+        trace_id: Optional[str] = None,
     ) -> "Message":
         """Build a message with a fresh id and a normalized destination set."""
         dst = frozenset(destinations)
@@ -114,6 +122,7 @@ class Message:
             payload=payload,
             payload_bytes=int(payload_bytes),
             is_flush=is_flush,
+            trace_id=trace_id,
         )
 
     @staticmethod
@@ -167,6 +176,11 @@ class Message:
     def is_batch(self) -> bool:
         """True iff this message is a batch carrier (see :meth:`batch_of`)."""
         return bool(self.members)
+
+    @property
+    def trace(self) -> str:
+        """The message's trace identity: ``trace_id``, else ``msg_id``."""
+        return self.trace_id if self.trace_id is not None else self.msg_id
 
     def size_bytes(self) -> int:
         """Serialized size of the bare message (no protocol metadata).

@@ -33,8 +33,9 @@ from ..checker.properties import check_epochs, check_trace
 from ..checker.recovery import check_recovery
 from ..checker.replay import check_sequential_replay, conservation_check
 from ..core.batching import BatchingClient
-from ..core.flexcast import FlexCastProtocol
+from ..core.flexcast import FlexCastGroup, FlexCastProtocol
 from ..core.message import ClientRequest, Message
+from ..obs import Observability
 from ..overlay.base import GroupId
 from ..overlay.cdag import CDagOverlay
 from ..protocols.base import RecordingSink
@@ -173,6 +174,7 @@ def run_scenario(
     pivot_guard: bool = True,
     hybrid: Optional[bool] = None,
     use_batching_client: bool = False,
+    obs: Optional[Observability] = None,
 ) -> FuzzResult:
     """Execute ``scenario`` deterministically and return the checked result.
 
@@ -182,12 +184,17 @@ def run_scenario(
     :class:`~repro.core.batching.BatchingClient` even when the scenario's
     ``batch_window`` is 1 — the differential equivalence tests use this to
     pin that a window of one is bit-identical to the unbatched client.
+    ``obs`` attaches an observability hub (:mod:`repro.obs`) to every group
+    and client in the run; with a tracer on the hub, the run leaves a full
+    per-message lifecycle trace behind (the sweep dumps it next to a shrunk
+    failing schedule).  Timestamps are virtual simulator milliseconds, so a
+    trace is as deterministic as the run itself.
     """
     if hybrid is None:
         hybrid = scenario.hybrid
     if scenario.replication_factor > 1:
-        return _run_replicated(scenario, pivot_guard, hybrid)
-    return _run_flexcast(scenario, pivot_guard, hybrid, use_batching_client)
+        return _run_replicated(scenario, pivot_guard, hybrid, obs)
+    return _run_flexcast(scenario, pivot_guard, hybrid, use_batching_client, obs)
 
 
 # ----------------------------------------------------------- batch atomicity
@@ -235,12 +242,61 @@ def _check_batch_atomicity(
     return violations
 
 
+# ---------------------------------------------------------------- leak oracle
+def _check_leaks(
+    groups: Dict[GroupId, object], batcher: Optional[BatchingClient]
+) -> List[str]:
+    """End-of-run resource-leak oracle (clean runs only).
+
+    After a run where every submission was delivered and the loop went idle,
+    the per-message machinery must have wound down: no queued messages, no
+    parked notifications, no undecided timestamp entries, no open windows —
+    and the two standing leak invariants (pending entries the history
+    forgot; member-index entries without a carrier) must hold.  The raw
+    pending-set *size* is deliberately not asserted: entries legitimately
+    wait for the next flush GC pass, which is exactly why the leak gauge
+    isolates forgotten-but-still-pending ids instead.
+
+    These are the same quantities :meth:`FlexCastGroup.attach_obs` exposes
+    as gauges, so "the gauges read zero" and "this oracle passes" are one
+    statement.
+    """
+    violations: List[str] = []
+    for gid, group in groups.items():
+        if not isinstance(group, FlexCastGroup):
+            continue
+        checks = [
+            ("queue depth", sum(len(q) for q in group.queues.values())),
+            ("open dependencies", len(group.open_dependencies())),
+            ("parked notifications", len(group.pending_notifications)),
+            (
+                "undecided timestamp entries",
+                group.ts.pending_count() if group.ts is not None else 0,
+            ),
+            ("leaked pending entries", group._leaked_pending_entries()),
+            ("member-index orphans", group._member_index_orphans()),
+        ]
+        for what, count in checks:
+            if count:
+                violations.append(
+                    f"[leak] group {gid}: {count} {what} remain after a "
+                    f"clean run"
+                )
+    if batcher is not None and batcher.buffered:
+        violations.append(
+            f"[leak] client: {batcher.buffered} messages still buffered in "
+            f"open batch windows after a clean run"
+        )
+    return violations
+
+
 # ------------------------------------------------------------------ flexcast
 def _run_flexcast(
     scenario: FuzzScenario,
     pivot_guard: bool,
     hybrid: bool,
     use_batching_client: bool = False,
+    obs: Optional[Observability] = None,
 ) -> FuzzResult:
     loop = EventLoop()
     latencies = _latency_matrix(scenario)
@@ -272,6 +328,8 @@ def _run_flexcast(
     for gid in scenario.order:
         group = protocol.create_group(gid, SimTransport(network, gid), make_sink(gid))
         groups[gid] = group
+        if obs is not None:
+            group.attach_obs(obs)
         network.register(gid, site=int(gid) % latencies.num_sites, handler=group.on_envelope)
     network.register(CLIENT, site=0, handler=lambda s, p: None)
 
@@ -315,6 +373,8 @@ def _run_flexcast(
             max_delay_ms=scenario.batch_delay_ms,
             schedule=loop.schedule,
         )
+        if obs is not None:
+            batcher.attach_obs(obs)
 
     submissions = list(scenario.submissions) + _flush_submissions(scenario)
     messages: Dict[str, Message] = {}
@@ -378,6 +438,8 @@ def _run_flexcast(
     if expect_all:
         conservation = conservation_check(sequences, messages)
         result.violations.extend(str(v) for v in conservation.violations)
+        # Clean run: the per-message machinery must have wound down too.
+        result.violations.extend(_check_leaks(groups, batcher))
 
     if coordinator is not None:
         epoch_report = check_epochs(delivery_epochs, barriers=coordinator.barriers)
@@ -388,7 +450,12 @@ def _run_flexcast(
 
 
 # ---------------------------------------------------------------- replicated
-def _run_replicated(scenario: FuzzScenario, pivot_guard: bool, hybrid: bool) -> FuzzResult:
+def _run_replicated(
+    scenario: FuzzScenario,
+    pivot_guard: bool,
+    hybrid: bool,
+    obs: Optional[Observability] = None,
+) -> FuzzResult:
     """Crash-profile runs: one multi-Paxos replicated group.
 
     Replicas persist to a shared :class:`InMemoryStorage` (the simulated
@@ -426,6 +493,8 @@ def _run_replicated(scenario: FuzzScenario, pivot_guard: bool, hybrid: bool) -> 
         replication_factor=scenario.replication_factor,
         storage=storage,
     )
+    if obs is not None:
+        group.attach_obs(obs)
     network.register(CLIENT, site=1, handler=lambda s, p: None)
 
     # Crashes first: at equal virtual times they precede submissions, so the

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from ..obs import Observability
 from .harness import FuzzResult, run_scenario
 from .profiles import PROFILES, apply_profile
 from .scenario import FuzzScenario
@@ -231,6 +232,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             path = out / f"shrunk-{scenario.name}-{index}.json"
             scenario.save(path)
             print(f"wrote {path}")
+            # Re-run the shrunk schedule with lifecycle tracing on and dump
+            # the per-message timelines next to it (runs are deterministic,
+            # so the trace describes exactly the committed failure).  Inspect
+            # with: PYTHONPATH=src python -m repro.obs trace <trace.json>
+            obs = Observability.with_tracing()
+            run_scenario(
+                scenario,
+                pivot_guard=not args.unguarded,
+                hybrid=args.hybrid,
+                obs=obs,
+            )
+            trace_path = out / f"trace-{scenario.name}-{index}.json"
+            obs.tracer.dump_json(trace_path)
+            print(f"wrote {trace_path}")
+            metrics_path = out / f"metrics-{scenario.name}-{index}.json"
+            obs.registry.dump_json(metrics_path)
+            print(f"wrote {metrics_path}")
     for failure in summary.failures:
         print(f"\n{failure.scenario.name}:")
         for violation in failure.violations[:10]:

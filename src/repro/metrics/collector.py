@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs import Observability
 from ..overlay.base import GroupId
 from ..sim.network import NodeTraffic
 from ..workload.clients import CompletedTransaction
@@ -28,24 +29,35 @@ from .stats import Summary, cdf_points, percentiles
 class LatencyCollector:
     """Accumulates completed transactions and answers latency queries.
 
-    Observers registered with :meth:`add_observer` see every recorded
-    transaction as it arrives; this is the delivery-path hook the workload
-    monitor (:mod:`repro.reconfig.monitor`) feeds from.
+    With an observability hub attached (:meth:`attach_obs`), every recorded
+    transaction is emitted on the hub's delivery feed
+    (:meth:`~repro.obs.Observability.emit_delivery`) — that is the
+    delivery-path signal the workload monitor
+    (:mod:`repro.reconfig.monitor`) subscribes to.
     """
 
     def __init__(self) -> None:
         self.transactions: List[CompletedTransaction] = []
-        self._observers: List = []
+        self._obs: Optional[Observability] = None
 
     # ------------------------------------------------------------- collection
-    def add_observer(self, observer) -> None:
-        """Register ``observer(txn)`` to be called on every recorded txn."""
-        self._observers.append(observer)
+    def attach_obs(self, obs: Observability) -> None:
+        """Attach an observability hub: recorded txns feed its delivery feed."""
+        self._obs = obs
+        obs.registry.counter(
+            "collector_transactions_total",
+            "Completed transactions recorded by the latency collector.",
+            fn=lambda: len(self.transactions),
+        )
 
     def record(self, txn: CompletedTransaction) -> None:
         self.transactions.append(txn)
-        for observer in self._observers:
-            observer(txn)
+        if self._obs is not None:
+            # Transactions predating the ``destination_set`` field (or with
+            # an empty one) are skipped rather than guessed at.
+            dst = getattr(txn, "destination_set", frozenset())
+            if dst:
+                self._obs.emit_delivery(txn.home, frozenset(dst), txn.completed_at)
 
     def __len__(self) -> int:
         return len(self.transactions)

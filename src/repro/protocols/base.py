@@ -12,6 +12,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Optional
 
+from ..obs import Observability
 from ..overlay.base import GroupId, Overlay
 from ..sim.transport import Transport
 from ..core.message import Envelope, Message
@@ -97,6 +98,27 @@ class AtomicMulticastGroup(ABC):
         self._sink = sink
         self._delivered_ids: set = set()
         self.delivered_count = 0
+        #: Observability hub (``None`` = uninstrumented; see repro.obs).
+        self.obs: Optional[Observability] = None
+
+    # --------------------------------------------------------- observability
+    def attach_obs(self, obs: Observability) -> None:
+        """Attach an observability hub to this group (optional, idempotent).
+
+        The base implementation registers the delivery counter every
+        protocol shares; subclasses extend it with their own instruments.
+        Metrics are pull-based (sampled at scrape time from state the
+        group already maintains), so attaching costs the hot path
+        nothing by itself.
+        """
+        self.obs = obs
+        labels = {"group": str(self.group_id)}
+        obs.registry.counter(
+            "group_delivered_total",
+            "Application messages delivered by this group.",
+            labels,
+            fn=lambda: self.delivered_count,
+        )
 
     # ------------------------------------------------------------- interface
     @abstractmethod

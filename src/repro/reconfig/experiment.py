@@ -23,6 +23,7 @@ from ..core.garbage import FlushCoordinator
 from ..core.message import ClientRequest, ClientResponse, Message
 from ..experiments.scenarios import TrafficPattern, WorkloadShiftScenario
 from ..metrics.collector import LatencyCollector
+from ..obs import Observability
 from ..overlay.base import GroupId
 from ..overlay.cdag import CDagOverlay
 from ..protocols.base import RecordingSink
@@ -170,9 +171,11 @@ def run_workload_shift(
         network.register(gid, site=gid, handler=handler)
 
     # ------------------------------------------------------------ observation
+    obs = Observability()
     collector = LatencyCollector()
+    collector.attach_obs(obs)
     monitor = WorkloadMonitor(window_ms=scenario.monitor_window_ms)
-    collector.add_observer(monitor.observe_transaction)
+    monitor.attach(obs)
 
     # ---------------------------------------------------------------- clients
     clients: List[ClosedLoopClient] = []

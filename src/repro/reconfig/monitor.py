@@ -1,8 +1,9 @@
 """Sliding-window workload observation for overlay re-planning.
 
-The monitor ingests completed transactions from the metrics pipeline
-(:meth:`repro.metrics.collector.LatencyCollector.add_observer`) and maintains,
-over a sliding window of virtual time:
+The monitor consumes the observability hub's delivery feed
+(:meth:`repro.obs.Observability.emit_delivery`, emitted by
+:class:`~repro.metrics.collector.LatencyCollector` for every completed
+transaction) and maintains, over a sliding window of virtual time:
 
 * ``(home, destination-set)`` multiplicities — the quantity the planner's
   cost model is evaluated against;
@@ -11,17 +12,20 @@ over a sliding window of virtual time:
 * per-home weights — which groups the clients issuing traffic live at
   (drives the home-ranked candidate order).
 
-All counters are maintained incrementally on observe/evict, so a snapshot is
-O(distinct keys), not O(window length).
+The window mechanics live in :class:`repro.obs.window.SlidingWindow`: one
+observation increments its traffic cell, its home cell and every pair cell
+at once, counts are maintained incrementally, and eviction is O(expired) —
+so a snapshot stays O(distinct keys), not O(window length).
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import combinations
-from typing import Deque, Dict, FrozenSet, Iterable, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
+from ..obs import Observability
+from ..obs.window import SlidingWindow
 from ..overlay.base import GroupId
 
 
@@ -52,87 +56,70 @@ class WorkloadMonitor:
     """Sliding-window destination-set and pairwise-traffic statistics."""
 
     def __init__(self, window_ms: float = 5_000.0) -> None:
-        if window_ms <= 0:
-            raise ValueError("window must be positive")
         self.window_ms = float(window_ms)
-        #: (observed_at, home, dst) in observation order.
-        self._entries: Deque[Tuple[float, GroupId, FrozenSet[GroupId]]] = deque()
-        self._traffic: Dict[Tuple[GroupId, FrozenSet[GroupId]], int] = {}
-        self._pairs: Dict[FrozenSet[GroupId], int] = {}
-        self._homes: Dict[GroupId, int] = {}
-        self.total_observed = 0
+        self._window = SlidingWindow(window_ms)
 
     # -------------------------------------------------------------- ingestion
+    def attach(self, obs: Observability) -> None:
+        """Subscribe to ``obs``'s delivery feed.
+
+        Every :meth:`~repro.obs.Observability.emit_delivery` (one completed
+        multicast) becomes one :meth:`observe` call; this replaces the old
+        private ``LatencyCollector.add_observer`` hook.
+        """
+        obs.add_delivery_listener(self._on_delivery)
+
+    def _on_delivery(
+        self, home: GroupId, destinations: FrozenSet[GroupId], at_ms: float
+    ) -> None:
+        self.observe(home, destinations, at_ms)
+
     def observe(self, home: GroupId, destinations: Iterable[GroupId], at: float) -> None:
         """Record one multicast: issued from ``home`` to ``destinations`` at
         virtual time ``at`` (monotonically non-decreasing across calls)."""
         dst = frozenset(destinations)
         if not dst:
             return
-        self.total_observed += 1
-        self._entries.append((at, home, dst))
-        key = (home, dst)
-        self._traffic[key] = self._traffic.get(key, 0) + 1
-        self._homes[home] = self._homes.get(home, 0) + 1
-        for a, b in combinations(sorted(dst), 2):
-            pair = frozenset((a, b))
-            self._pairs[pair] = self._pairs.get(pair, 0) + 1
-        self._evict(at)
-
-    def observe_transaction(self, txn) -> None:
-        """Observer hook for :class:`~repro.metrics.collector.LatencyCollector`.
-
-        Transactions that predate the ``destination_set`` field (or carry an
-        empty one) are skipped rather than guessed at.
-        """
-        dst = getattr(txn, "destination_set", frozenset())
-        if dst:
-            self.observe(txn.home, dst, txn.completed_at)
-
-    def _evict(self, now: float) -> None:
-        horizon = now - self.window_ms
-        entries = self._entries
-        while entries and entries[0][0] < horizon:
-            _, home, dst = entries.popleft()
-            key = (home, dst)
-            remaining = self._traffic[key] - 1
-            if remaining:
-                self._traffic[key] = remaining
-            else:
-                del self._traffic[key]
-            remaining_home = self._homes[home] - 1
-            if remaining_home:
-                self._homes[home] = remaining_home
-            else:
-                del self._homes[home]
-            for a, b in combinations(sorted(dst), 2):
-                pair = frozenset((a, b))
-                remaining_pair = self._pairs[pair] - 1
-                if remaining_pair:
-                    self._pairs[pair] = remaining_pair
-                else:
-                    del self._pairs[pair]
+        keys: List[object] = [("traffic", home, dst), ("home", home)]
+        keys.extend(
+            ("pair", frozenset((a, b))) for a, b in combinations(sorted(dst), 2)
+        )
+        self._window.observe(at, keys)
+        self._window.evict(at)
 
     # --------------------------------------------------------------- querying
     @property
     def sample_count(self) -> int:
         """Observations currently inside the window."""
-        return len(self._entries)
+        return self._window.sample_count
+
+    @property
+    def total_observed(self) -> int:
+        """Observations ever recorded (monotonic, never evicted)."""
+        return self._window.total_observed
 
     def snapshot(self, now: Optional[float] = None) -> WorkloadSnapshot:
         """Freeze the current window (evicting up to ``now`` first)."""
         if now is not None:
-            self._evict(now)
+            self._window.evict(now)
+        traffic: List[Tuple[Tuple[GroupId, FrozenSet[GroupId]], int]] = []
+        pairs: List[Tuple[FrozenSet[GroupId], int]] = []
+        homes: List[Tuple[GroupId, int]] = []
+        for key, count in self._window.items().items():
+            tag = key[0]
+            if tag == "traffic":
+                traffic.append(((key[1], key[2]), count))
+            elif tag == "pair":
+                pairs.append((key[1], count))
+            else:
+                homes.append((key[1], count))
         return WorkloadSnapshot(
-            traffic=tuple(self._traffic.items()),
-            pair_weights=tuple(self._pairs.items()),
-            home_weights=tuple(self._homes.items()),
+            traffic=tuple(traffic),
+            pair_weights=tuple(pairs),
+            home_weights=tuple(homes),
             window_ms=self.window_ms,
-            sample_count=len(self._entries),
+            sample_count=self._window.sample_count,
         )
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._traffic.clear()
-        self._pairs.clear()
-        self._homes.clear()
+        self._window.clear()

@@ -11,6 +11,7 @@ from __future__ import annotations
 import asyncio
 from typing import Dict, List, Optional
 
+from ..obs import Observability
 from ..overlay.base import GroupId
 from ..protocols.base import AtomicMulticastProtocol
 from ..sim.latencies import LatencyMatrix
@@ -28,6 +29,7 @@ class LocalCluster:
         latencies: Optional[LatencyMatrix] = None,
         emulate_wan: bool = False,
         storage: Optional[Dict[GroupId, object]] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self._protocol = protocol
         self._latencies = latencies if emulate_wan else None
@@ -35,6 +37,10 @@ class LocalCluster:
         #: a restarted cluster handed the same mapping resumes each group
         #: from its persisted history instead of a blank one.
         self._storage = storage or {}
+        #: Optional observability hub, shared by every server (series are
+        #: labelled per group, so one registry holds the whole cluster and
+        #: any port's ``/metrics`` shows the full picture).
+        self.obs = obs
         self.addresses: AddressBook = {}
         self.servers: Dict[GroupId, GroupServer] = {}
         self.clients: List[AsyncMulticastClient] = []
@@ -50,6 +56,7 @@ class LocalCluster:
                 latencies=self._latencies,
                 sites=sites if self._latencies is not None else None,
                 storage=self._storage.get(gid),
+                obs=self.obs,
             )
             host, port = await server.start()
             self.addresses[gid] = (host, port)
@@ -85,3 +92,30 @@ class LocalCluster:
     def delivered_at(self, group_id: GroupId) -> List[str]:
         """Message ids delivered at ``group_id`` so far, in delivery order."""
         return [m.msg_id for m in self.servers[group_id].delivered]
+
+    async def scrape(self) -> Dict[GroupId, str]:
+        """``GET /metrics`` every server over real TCP.
+
+        Returns the Prometheus text body per group.  With the default shared
+        hub every body renders the same cluster-wide registry; the per-group
+        round trip is still worthwhile because it exercises the actual HTTP
+        path a scraper would hit.  Raises ``RuntimeError`` on a non-200
+        (e.g. the cluster was started without an observability hub).
+        """
+        bodies: Dict[GroupId, str] = {}
+        for gid, server in self.servers.items():
+            reader, writer = await asyncio.open_connection(server.host, server.port)
+            try:
+                writer.write(b"GET /metrics HTTP/1.0\r\nHost: localhost\r\n\r\n")
+                await writer.drain()
+                raw = await reader.read(-1)
+            finally:
+                writer.close()
+            head, _, body = raw.partition(b"\r\n\r\n")
+            status = head.split(b"\r\n", 1)[0].split(b" ")
+            if len(status) < 2 or status[1] != b"200":
+                raise RuntimeError(
+                    f"scrape of group {gid} failed: {head.decode('latin-1')!r}"
+                )
+            bodies[gid] = body.decode("utf-8")
+        return bodies

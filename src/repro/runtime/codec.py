@@ -37,6 +37,10 @@ def _message_to_dict(m: msg.Message) -> Dict[str, Any]:
         "payload_bytes": m.payload_bytes,
         "is_flush": m.is_flush,
     }
+    if m.trace_id is not None:
+        # Observability correlation id (repro.obs): emitted only when set,
+        # so untraced frames keep their historical byte-for-byte shape.
+        d["trace_id"] = m.trace_id
     if m.members:
         # Batch carrier: one level of member messages (batch_of forbids
         # nesting, so the recursion is bounded at depth one).
@@ -52,6 +56,7 @@ def _message_from_dict(d: Dict[str, Any]) -> msg.Message:
         payload=d.get("payload"),
         payload_bytes=d.get("payload_bytes", 64),
         is_flush=d.get("is_flush", False),
+        trace_id=d.get("trace_id"),
         members=tuple(
             _message_from_dict(member) for member in d.get("members", [])
         ),
@@ -321,9 +326,15 @@ def decode_frame(body: bytes) -> Tuple[Any, Any]:
     return data.get("sender"), _decode_envelope(data.get("envelope", {}))
 
 
-async def read_frame(reader) -> Tuple[Any, Any]:
-    """Read one length-prefixed frame from an ``asyncio.StreamReader``."""
-    header = await reader.readexactly(_LENGTH.size)
+async def read_frame(reader, preread: bytes = b"") -> Tuple[Any, Any]:
+    """Read one length-prefixed frame from an ``asyncio.StreamReader``.
+
+    ``preread`` holds up to 4 bytes already consumed from the stream (the
+    server peeks at the first bytes of a connection to tell HTTP scrapes
+    from frame traffic); they are treated as the start of the length prefix.
+    """
+    need = _LENGTH.size - len(preread)
+    header = preread + (await reader.readexactly(need) if need > 0 else b"")
     (length,) = _LENGTH.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise CodecError(f"frame length {length} exceeds the {MAX_FRAME_BYTES} limit")

@@ -6,10 +6,16 @@ import asyncio
 from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
 from ..core.message import ClientResponse, Message
+from ..obs import Observability
 from ..overlay.base import GroupId
 from ..protocols.base import AtomicMulticastProtocol
 from .codec import CodecError, read_frame
 from .transport import AddressBook, AsyncioTransport
+
+#: First bytes of an HTTP GET.  As a frame length prefix this would claim a
+#: ~1.2 GB frame — far above ``MAX_FRAME_BYTES`` — so no legitimate frame
+#: traffic can collide with the scrape detection.
+_HTTP_GET = b"GET "
 
 
 class GroupServer:
@@ -41,6 +47,7 @@ class GroupServer:
         latencies=None,
         sites: Optional[Dict[Hashable, int]] = None,
         storage: Optional[Any] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.group_id = group_id
         self.host = host
@@ -60,6 +67,32 @@ class GroupServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self.delivered: list = []
         self.frames_received = 0
+        self.obs: Optional[Observability] = None
+        if obs is not None:
+            self.attach_obs(obs)
+
+    def attach_obs(self, obs: Observability) -> None:
+        """Attach an observability hub: group instrumentation + ``/metrics``.
+
+        Once attached, an HTTP ``GET /metrics`` on the server's port answers
+        with the registry in Prometheus text exposition format (regular frame
+        traffic on the same port is unaffected — see ``_HTTP_GET``).
+        """
+        self.obs = obs
+        self.group.attach_obs(obs)
+        labels = {"group": str(self.group_id)}
+        obs.registry.counter(
+            "server_frames_received_total",
+            "Wire frames accepted by this group server.",
+            labels,
+            fn=lambda: self.frames_received,
+        )
+        obs.registry.gauge(
+            "server_delivered",
+            "Messages delivered by this group server since start.",
+            labels,
+            fn=lambda: len(self.delivered),
+        )
 
     # ----------------------------------------------------------------- server
     async def start(self) -> Tuple[str, int]:
@@ -82,15 +115,59 @@ class GroupServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
+            # Peek at the first 4 bytes: an HTTP GET (scrape) or the length
+            # prefix of the first frame.
+            try:
+                probe = await reader.readexactly(len(_HTTP_GET))
+            except asyncio.IncompleteReadError:
+                return
+            if probe == _HTTP_GET:
+                await self._serve_http(reader, writer)
+                return
+            preread = probe
             while True:
                 try:
-                    sender, envelope = await read_frame(reader)
+                    sender, envelope = await read_frame(reader, preread=preread)
                 except (asyncio.IncompleteReadError, CodecError):
                     break
+                preread = b""
                 self.frames_received += 1
                 self.group.on_envelope(sender, envelope)
         finally:
             writer.close()
+
+    async def _serve_http(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        """Answer one HTTP request (``GET /metrics``) and close.
+
+        Minimal by design: HTTP/1.0 semantics, no keep-alive — enough for
+        ``curl`` and a Prometheus scraper.
+        """
+        request = _HTTP_GET  # the probe already consumed these bytes
+        try:
+            while b"\r\n\r\n" not in request and len(request) < 65536:
+                chunk = await asyncio.wait_for(reader.read(1024), timeout=5.0)
+                if not chunk:
+                    break
+                request += chunk
+        except asyncio.TimeoutError:
+            pass
+        parts = request.split(b"\r\n", 1)[0].split(b" ")
+        path = parts[1].decode("latin-1", "replace") if len(parts) >= 2 else "/"
+        if path == "/metrics" and self.obs is not None:
+            status = b"200 OK"
+            body = self.obs.registry.render_prometheus().encode("utf-8")
+            ctype = b"text/plain; version=0.0.4; charset=utf-8"
+        else:
+            status = b"404 Not Found"
+            body = b"not found (is observability attached?)\n"
+            ctype = b"text/plain; charset=utf-8"
+        writer.write(
+            b"HTTP/1.0 " + status + b"\r\nContent-Type: " + ctype
+            + b"\r\nContent-Length: " + str(len(body)).encode("ascii")
+            + b"\r\nConnection: close\r\n\r\n" + body
+        )
+        await writer.drain()
 
     # --------------------------------------------------------------- delivery
     def _sink(self, group_id: GroupId, message: Message) -> None:

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
+from ..obs.registry import MetricsRegistry
 from ..sim.transport import Transport
 from .paxos import Accept, Accepted, Acceptor, Ballot, Nack, Prepare, Promise, Proposer
 
@@ -156,7 +157,20 @@ class MultiPaxosReplica:
         self._pending_commands: List[Any] = []
         #: Replicas believed to be alive (failure detection input).
         self.alive: Set[ReplicaId] = set(self.peers)
-        self.stats = {"proposed": 0, "committed": 0, "forwarded": 0, "nacks": 0}
+        self.stats = {
+            "proposed": 0,
+            "committed": 0,
+            "forwarded": 0,
+            "nacks": 0,
+            # Ballot churn: instances re-run with a higher ballot after a
+            # nack (contention / fail-over pressure).
+            "ballot_retries": 0,
+            # Catch-up traffic: requests this replica answered and entry
+            # volume in both directions (rejoin cost).
+            "catchup_served": 0,
+            "catchup_entries_sent": 0,
+            "catchup_entries_applied": 0,
+        }
         #: Log length recovered from the commit WAL at construction.
         self.recovered_instances = 0
         if log_wal is not None:
@@ -170,6 +184,51 @@ class MultiPaxosReplica:
             while self._applied_up_to + 1 in self._decided:
                 self._applied_up_to += 1
                 self._apply(self._applied_up_to, self._decided[self._applied_up_to])
+
+    # ---------------------------------------------------------- observability
+    def register_metrics(
+        self, registry: MetricsRegistry, labels: Optional[Dict[str, str]] = None
+    ) -> None:
+        """Expose this replica's counters on ``registry`` (repro.obs).
+
+        All series are pull-based callbacks over :attr:`stats` and the log
+        book-keeping the replica already maintains, so registration adds no
+        hot-path cost.  Ballot churn shows up as ``smr_ballot_retries_total``;
+        catch-up traffic as the three ``smr_catchup_*_total`` counters.
+        """
+        labels = dict(labels or {})
+        labels.setdefault("replica", str(self.replica_id))
+        for key in self.stats:
+            registry.counter(
+                f"smr_{key}_total",
+                f"Multi-Paxos replica event count: {key.replace('_', ' ')}.",
+                labels,
+                fn=(lambda k=key: self.stats[k]),
+            )
+        registry.gauge(
+            "smr_decided_instances",
+            "Log instances this replica knows the decision for.",
+            labels,
+            fn=lambda: len(self._decided),
+        )
+        registry.gauge(
+            "smr_applied_up_to",
+            "Highest contiguously applied log instance (-1 = none).",
+            labels,
+            fn=lambda: self._applied_up_to,
+        )
+        registry.gauge(
+            "smr_open_proposers",
+            "Paxos instances this replica is still driving.",
+            labels,
+            fn=lambda: len(self._proposers),
+        )
+        registry.gauge(
+            "smr_pending_commands",
+            "Commands stashed awaiting forwarding / re-proposal.",
+            labels,
+            fn=lambda: len(self._pending_commands),
+        )
 
     # ------------------------------------------------------------- leadership
     @property
@@ -246,6 +305,7 @@ class MultiPaxosReplica:
 
     def _retry(self, instance: int) -> None:
         """Re-run an instance with a higher ballot after a nack."""
+        self.stats["ballot_retries"] += 1
         old = self._proposers[instance]
         new_ballot = Ballot(
             round=max(old.ballot.round, (old.preempted_by or old.ballot).round) + 1,
@@ -301,8 +361,11 @@ class MultiPaxosReplica:
                 if instance >= message.from_instance
             )
             if entries:
+                self.stats["catchup_served"] += 1
+                self.stats["catchup_entries_sent"] += len(entries)
                 self.transport.send(message.from_replica, CatchupReply(entries=entries))
         elif isinstance(message, CatchupReply):
+            self.stats["catchup_entries_applied"] += len(message.entries)
             for instance, value in message.entries:
                 self._learn(instance, value)
         else:

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
 
 from ..core.message import ClientRequest, Envelope, Message
+from ..obs import Observability
 from ..overlay.base import GroupId
 from ..protocols.base import AtomicMulticastGroup, AtomicMulticastProtocol, DeliverySink
 from ..sim.transport import Transport
@@ -184,6 +185,20 @@ class GroupReplica:
         finally:
             self._gated.open = False
 
+    # ---------------------------------------------------------- observability
+    def attach_obs(self, obs: Observability) -> None:
+        """Attach an observability hub to this replica.
+
+        Wires the protocol copy's group instrumentation and exposes the
+        multi-Paxos counters (ballot churn, catch-up traffic) labelled by
+        group and replica.
+        """
+        self.protocol_state.attach_obs(obs)
+        self.smr.register_metrics(
+            obs.registry,
+            {"group": str(self.group_id), "replica": str(self.replica_id)},
+        )
+
     # -------------------------------------------------------------- failover
     def mark_failed(self, replica: ReplicaId) -> None:
         self.smr.mark_failed(replica)
@@ -235,6 +250,7 @@ class ReplicatedGroup:
         self._reported = reported
         self._replica_ids = replica_ids
         self._storage = storage
+        self._obs: Optional[Observability] = None
         for replica_id in replica_ids:
             transport = _ReplicaTransport(network, replica_id, group_id, replica_ids)
             replica = GroupReplica(
@@ -249,6 +265,18 @@ class ReplicatedGroup:
             )
             self.replicas.append(replica)
             network.register(replica_id, site=site, handler=replica.on_message)
+
+    def attach_obs(self, obs: Observability) -> None:
+        """Attach an observability hub to every replica of this group.
+
+        Restarted replicas (see :meth:`restart_replica`) re-attach
+        automatically: callback re-registration re-binds the series to the
+        new incarnation.
+        """
+        self._obs = obs
+        for index, replica in enumerate(self.replicas):
+            if index not in self._crashed_indices:
+                replica.attach_obs(obs)
 
     @property
     def leader(self) -> GroupReplica:
@@ -301,6 +329,8 @@ class ReplicatedGroup:
         self.replicas[index] = replica
         self._crashed_indices.discard(index)
         network.register(replica_id, site=self._site, handler=replica.on_message)
+        if self._obs is not None:
+            replica.attach_obs(self._obs)
         replica.rejoin()
         return replica
 

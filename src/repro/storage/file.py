@@ -27,9 +27,12 @@ from __future__ import annotations
 import json
 import os
 import struct
+import time
 import zlib
 from typing import Any, Dict, Iterable, List, Optional
 
+from ..obs import Observability
+from ..obs.registry import Histogram
 from .base import WAL, Storage, StorageError
 
 _HEADER = struct.Struct(">II")  # (payload length, CRC-32 of payload)
@@ -78,14 +81,28 @@ def _scan_frames(data: bytes) -> "tuple[List[Any], int]":
 
 
 class FileWAL(WAL):
-    """One append-only CRC-framed WAL file with batched fsyncs."""
+    """One append-only CRC-framed WAL file with batched fsyncs.
 
-    def __init__(self, path: str, fsync_every: int = 64) -> None:
+    ``append_hist`` / ``fsync_hist`` are optional latency histograms
+    (milliseconds, :mod:`repro.obs`): when set, every append and fsync is
+    timed with ``time.perf_counter``.  Left unset (the default), the write
+    path is exactly the uninstrumented code.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        fsync_every: int = 64,
+        append_hist: Optional[Histogram] = None,
+        fsync_hist: Optional[Histogram] = None,
+    ) -> None:
         if fsync_every < 1:
             raise ValueError("fsync_every must be >= 1")
         self.path = path
         self._fsync_every = fsync_every
         self._unsynced = 0
+        self.append_hist = append_hist
+        self.fsync_hist = fsync_hist
         self._records = self._recover()
         self._file = open(self.path, "ab")
 
@@ -106,6 +123,7 @@ class FileWAL(WAL):
 
     # ------------------------------------------------------------------- api
     def append(self, record: Any) -> None:
+        started = time.perf_counter() if self.append_hist is not None else 0.0
         frame = _encode_record(record)
         self._file.write(frame)
         self._records.append(json.loads(frame[_HEADER.size :].decode("utf-8")))
@@ -114,6 +132,8 @@ class FileWAL(WAL):
             self.sync()
         else:
             self._file.flush()
+        if self.append_hist is not None:
+            self.append_hist.observe((time.perf_counter() - started) * 1000.0)
 
     def records(self) -> List[Any]:
         return list(self._records)
@@ -134,9 +154,12 @@ class FileWAL(WAL):
         self._unsynced = 0
 
     def sync(self) -> None:
+        started = time.perf_counter() if self.fsync_hist is not None else 0.0
         self._file.flush()
         os.fsync(self._file.fileno())
         self._unsynced = 0
+        if self.fsync_hist is not None:
+            self.fsync_hist.observe((time.perf_counter() - started) * 1000.0)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -163,11 +186,55 @@ def _safe_name(name: str) -> str:
 class FileStorage(Storage):
     """Directory-per-node storage: ``<dir>/<name>.wal`` + ``<dir>/<name>.snap``."""
 
-    def __init__(self, root: str, fsync_every: int = 64) -> None:
+    def __init__(
+        self,
+        root: str,
+        fsync_every: int = 64,
+        obs: Optional[Observability] = None,
+    ) -> None:
         self.root = root
         self._fsync_every = fsync_every
         os.makedirs(root, exist_ok=True)
         self._open_wals: Dict[str, FileWAL] = {}
+        self._append_hist: Optional[Histogram] = None
+        self._fsync_hist: Optional[Histogram] = None
+        if obs is not None:
+            self.attach_obs(obs)
+
+    def attach_obs(self, obs: Observability) -> None:
+        """Register WAL latency histograms + segment gauges (repro.obs).
+
+        All WAL files of this storage share one append and one fsync
+        histogram (the interesting distribution is per device, not per
+        segment); segment counts are pull-based gauges over state the
+        storage already tracks.
+        """
+        labels = {"root": os.path.basename(self.root) or self.root}
+        self._append_hist = obs.registry.histogram(
+            "wal_append_ms", "FileWAL append latency (write + flush).", labels
+        )
+        self._fsync_hist = obs.registry.histogram(
+            "wal_fsync_ms", "FileWAL fsync latency.", labels
+        )
+        for wal in self._open_wals.values():
+            wal.append_hist = self._append_hist
+            wal.fsync_hist = self._fsync_hist
+        obs.registry.gauge(
+            "storage_open_wal_segments",
+            "WAL segments currently open in this storage.",
+            labels,
+            fn=lambda: sum(
+                1 for w in self._open_wals.values() if not w._file.closed
+            ),
+        )
+        obs.registry.gauge(
+            "storage_wal_records",
+            "Records across all open WAL segments.",
+            labels,
+            fn=lambda: sum(
+                len(w) for w in self._open_wals.values() if not w._file.closed
+            ),
+        )
 
     def wal(self, name: str) -> FileWAL:
         # Reopening a name returns the live handle: the file backend has a
@@ -179,6 +246,8 @@ class FileStorage(Storage):
         wal = FileWAL(
             os.path.join(self.root, _safe_name(name) + ".wal"),
             fsync_every=self._fsync_every,
+            append_hist=self._append_hist,
+            fsync_hist=self._fsync_hist,
         )
         self._open_wals[name] = wal
         return wal

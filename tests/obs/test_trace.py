@@ -1,0 +1,117 @@
+"""Unit tests for the lifecycle tracer, its dumps, and the CLI renderer."""
+
+import json
+
+from repro.obs import (
+    STAGE_DELIVER,
+    STAGE_ENQUEUE,
+    STAGE_SUBMIT,
+    Tracer,
+)
+from repro.obs.__main__ import main as obs_main
+from repro.obs.trace import find_trace, render_timeline, summarize
+
+
+def seeded_tracer():
+    tracer = Tracer()
+    tracer.record("m1", STAGE_SUBMIT, 10.0, site="client")
+    tracer.record("m1", STAGE_ENQUEUE, 12.0, site="g0")
+    tracer.record("m1", STAGE_DELIVER, 15.5, site="g0")
+    tracer.record("m2", STAGE_SUBMIT, 11.0, site="client")
+    return tracer
+
+
+class TestTracer:
+    def test_timeline_groups_and_orders(self):
+        tracer = seeded_tracer()
+        timeline = tracer.timeline("m1")
+        assert [e[1] for e in timeline] == [
+            STAGE_SUBMIT,
+            STAGE_ENQUEUE,
+            STAGE_DELIVER,
+        ]
+        assert tracer.timeline("m2")[0][2] == 11.0
+        assert tracer.timeline("missing") == []
+
+    def test_simultaneous_events_sorted_by_stage_order(self):
+        tracer = Tracer()
+        # Same timestamp: canonical lifecycle order must win, regardless of
+        # arrival order.
+        tracer.record("m", STAGE_DELIVER, 5.0)
+        tracer.record("m", STAGE_ENQUEUE, 5.0)
+        assert [e[1] for e in tracer.timeline("m")] == [
+            STAGE_ENQUEUE,
+            STAGE_DELIVER,
+        ]
+
+    def test_bounded_to_max_events(self):
+        tracer = Tracer(max_events=3)
+        for i in range(10):
+            tracer.record(f"m{i}", STAGE_SUBMIT, float(i))
+        assert len(tracer) == 3
+        # Oldest events fell off first.
+        assert [e[0] for e in tracer.events] == ["m7", "m8", "m9"]
+
+    def test_dump_and_load_round_trip(self, tmp_path):
+        tracer = seeded_tracer()
+        path = tmp_path / "trace.json"
+        tracer.dump_json(str(path))
+        loaded = Tracer.load_json(str(path))
+        assert list(loaded.events) == list(tracer.events)
+        assert loaded.max_events == tracer.max_events
+
+    def test_dump_is_plain_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        seeded_tracer().dump_json(str(path))
+        data = json.loads(path.read_text())
+        assert data["events"][0] == ["m1", STAGE_SUBMIT, 10.0, "client", ""]
+
+    def test_find_trace_by_substring(self):
+        tracer = seeded_tracer()
+        found = find_trace(tracer, "m2")
+        assert found is not None and found[0] == "m2"
+        # Ambiguous ("m" matches both) and unknown needles return None.
+        assert find_trace(tracer, "m") is None
+        assert find_trace(tracer, "zzz") is None
+
+
+class TestRendering:
+    def test_render_timeline_shows_offsets_and_span(self):
+        tracer = seeded_tracer()
+        text = render_timeline("m1", tracer.timeline("m1"))
+        assert "trace m1" in text
+        assert STAGE_DELIVER in text
+        assert "total span: 5.500 ms" in text
+
+    def test_summarize_lists_every_trace(self):
+        text = summarize(seeded_tracer())
+        assert "2 traces, 4 events" in text
+        assert "m1" in text and "m2" in text
+
+
+class TestCli:
+    def test_trace_summary_and_single_timeline(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        seeded_tracer().dump_json(str(path))
+        assert obs_main(["trace", str(path)]) == 0
+        assert "2 traces" in capsys.readouterr().out
+        assert obs_main(["trace", str(path), "--id", "m1"]) == 0
+        assert "total span" in capsys.readouterr().out
+
+    def test_trace_unknown_id_fails(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        seeded_tracer().dump_json(str(path))
+        assert obs_main(["trace", str(path), "--id", "nope"]) == 1
+
+    def test_dashboard_over_registry_snapshot(self, tmp_path, capsys):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("reqs_total").inc(3)
+        registry.histogram("lat_ms").observe(2.0)
+        path = tmp_path / "snap.json"
+        registry.dump_json(str(path))
+        assert obs_main(["dashboard", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "reqs_total" in out
+        assert "lat_ms" in out and "p99" in out

@@ -1,0 +1,59 @@
+"""Unit tests for the shared sliding-window multiset."""
+
+import pytest
+
+from repro.obs.window import SlidingWindow
+
+
+class TestSlidingWindow:
+    def test_one_observation_many_keys(self):
+        window = SlidingWindow(1_000.0)
+        window.observe(0.0, [("a",), ("b",), ("c",)])
+        assert window.sample_count == 1
+        assert window.count(("a",)) == 1
+        assert set(window.items()) == {("a",), ("b",), ("c",)}
+
+    def test_eviction_removes_all_keys_of_an_observation(self):
+        window = SlidingWindow(100.0)
+        window.observe(0.0, ["x", "y"])
+        window.observe(500.0, ["y"])
+        window.evict(500.0)
+        assert window.sample_count == 1
+        assert window.count("x") == 0
+        assert window.count("y") == 1
+
+    def test_shared_key_counts_decrement_not_vanish(self):
+        window = SlidingWindow(100.0)
+        window.observe(0.0, ["k"])
+        window.observe(50.0, ["k"])
+        assert window.count("k") == 2
+        window.evict(120.0)  # horizon 20: only the t=0 entry expires
+        assert window.count("k") == 1
+
+    def test_total_observed_is_monotonic(self):
+        window = SlidingWindow(10.0)
+        window.observe(0.0, ["a"])
+        window.observe(1_000.0, ["a"])
+        window.evict(1_000.0)
+        assert window.sample_count == 1
+        assert window.total_observed == 2
+
+    def test_items_returns_a_copy(self):
+        window = SlidingWindow(10.0)
+        window.observe(0.0, ["a"])
+        items = window.items()
+        items["a"] = 99
+        assert window.count("a") == 1
+
+    def test_clear(self):
+        window = SlidingWindow(10.0)
+        window.observe(0.0, ["a"])
+        window.clear()
+        assert window.sample_count == 0
+        assert window.items() == {}
+
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(0.0)
+        with pytest.raises(ValueError):
+            SlidingWindow(-5.0)

@@ -1,6 +1,7 @@
 """Unit tests for the sliding-window workload monitor."""
 
 from repro.metrics.collector import LatencyCollector
+from repro.obs import Observability
 from repro.reconfig.monitor import WorkloadMonitor
 from repro.workload.clients import CompletedTransaction
 
@@ -57,11 +58,13 @@ class TestWindow:
         }
 
 
-class TestCollectorHook:
-    def test_fed_from_latency_collector_observer(self):
+class TestDeliveryFeed:
+    def test_fed_from_latency_collector_via_obs_hub(self):
+        obs = Observability()
         collector = LatencyCollector()
+        collector.attach_obs(obs)
         monitor = WorkloadMonitor(window_ms=10_000.0)
-        collector.add_observer(monitor.observe_transaction)
+        monitor.attach(obs)
         collector.record(txn(0, {0, 3}, at=50.0))
         collector.record(txn(3, {3, 4}, at=60.0))
         snap = monitor.snapshot()
@@ -69,7 +72,18 @@ class TestCollectorHook:
         assert snap.home_weight_dict() == {0: 1.0, 3: 1.0}
 
     def test_legacy_transactions_without_destination_set_are_skipped(self):
+        obs = Observability()
+        collector = LatencyCollector()
+        collector.attach_obs(obs)
         monitor = WorkloadMonitor()
-        record = txn(0, {}, at=10.0)
-        monitor.observe_transaction(record)
+        monitor.attach(obs)
+        collector.record(txn(0, {}, at=10.0))
         assert monitor.snapshot().sample_count == 0
+
+    def test_collector_counter_tracks_recorded_txns(self):
+        obs = Observability()
+        collector = LatencyCollector()
+        collector.attach_obs(obs)
+        collector.record(txn(0, {0, 1}, at=5.0))
+        snap = obs.registry.snapshot()
+        assert snap["counters"]["collector_transactions_total"] == 1

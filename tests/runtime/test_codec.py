@@ -6,6 +6,7 @@ from repro.core.message import (
     ClientRequest,
     ClientResponse,
     EMPTY_DELTA,
+    EpochBounce,
     FlexCastAck,
     FlexCastBatch,
     FlexCastMsg,
@@ -150,6 +151,50 @@ class TestRoundTrips:
         assert b"members" not in frame
         decoded = round_trip(ClientRequest(message=sample_message()))
         assert decoded.message.members == ()
+
+
+class TestTraceIdPropagation:
+    """The observability trace id must survive every message-carrying hop.
+
+    Lifecycle tracing (repro.obs) correlates events across nodes by the
+    ``trace_id`` stamped on the Message; a single envelope type dropping it
+    silently truncates every distributed trace at that hop.
+    """
+
+    def traced(self, trace_id="t-7f"):
+        return Message(
+            msg_id="m1", dst=frozenset({1, 3}), sender="c", trace_id=trace_id
+        )
+
+    def test_every_message_envelope_preserves_trace_id(self):
+        m = self.traced()
+        envelopes = [
+            ClientRequest(message=m),
+            FlexCastBatch(message=Message.batch_of([m], batch_id="b1")),
+            FlexCastMsg(message=m, history=sample_delta()),
+            FlexCastAck(message=m, history=sample_delta(), from_group=1),
+            FlexCastNotif(message=m, history=sample_delta(), from_group=1),
+            FlexCastTsPropose(message=m, timestamp=5, from_group=1),
+            EpochBounce(message=m, epoch=2, from_group=1),
+            SkeenPropose(message=m),
+            TreeForward(message=m, sequence=9),
+        ]
+        for envelope in envelopes:
+            decoded = round_trip(envelope)
+            carried = decoded.message
+            if carried.is_batch:
+                # Batch carrier: members keep their own trace ids.
+                assert carried.members[0].trace_id == "t-7f", type(envelope)
+            else:
+                assert carried.trace_id == "t-7f", type(envelope)
+
+    def test_untraced_message_omits_the_key_on_the_wire(self):
+        # Frames from uninstrumented runs must stay byte-for-byte what they
+        # were before the observability layer existed.
+        frame = encode_frame("n", ClientRequest(message=sample_message()))
+        assert b"trace_id" not in frame
+        decoded = round_trip(ClientRequest(message=sample_message()))
+        assert decoded.message.trace_id is None
 
 
 class TestErrors:
