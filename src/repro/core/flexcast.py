@@ -88,13 +88,19 @@ from .message import (
     FlexCastNotif,
     FlexCastTsPropose,
     HistoryDelta,
+    HistorySnapshotFrame,
     Message,
     TsProposal,
 )
 from .timestamps import TimestampAuthority
 
+#: Shared empty notified-set: the overwhelming majority of envelopes carry no
+#: Strategy (c) notifications, so the send path reuses one immutable instance
+#: instead of minting a fresh frozenset per hop.
+_NO_NOTIFIED: frozenset = frozenset()
 
-@dataclass
+
+@dataclass(slots=True)
 class PendingMessage:
     """Per-group protocol state about a not-yet-delivered multicast message.
 
@@ -120,7 +126,7 @@ _MAX_PIVOTS = 64
 DIFF_SAMPLE_EVERY = 4
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingNotification:
     """A received ``notif`` waiting for local open dependencies to resolve."""
 
@@ -221,8 +227,6 @@ class FlexCastGroup(AtomicMulticastGroup):
         #: is long past by the time dozens of newer pivots were acked), so
         #: the guard's per-delivery ancestor scans stay bounded.
         self._notif_pivots: Dict[str, Message] = {}
-        #: pivot -> (dep epoch, ancestor set) memo for the guard.
-        self._pivot_anc_cache: Dict[str, tuple] = {}
         #: Messages allowed through the guard by the escape path below.
         self._guard_exempt: Set[str] = set()
         #: Pending escape timer handle (at most one in flight).
@@ -472,7 +476,7 @@ class FlexCastGroup(AtomicMulticastGroup):
         self.history.merge_delta(delta)
         self._dep_epoch += 1
         me = self.group_id
-        for mid, dst in delta.vertices:
+        for mid, dst in delta.iter_vertices():
             if me in dst and mid not in self.delivered_in_g and mid in self.history:
                 self._undelivered_to_me.add(mid)
                 if self.ts is not None and len(dst) > 1:
@@ -526,6 +530,8 @@ class FlexCastGroup(AtomicMulticastGroup):
             self._on_notif(envelope)
         elif isinstance(envelope, FlexCastTsPropose):
             self._on_ts_propose(envelope)
+        elif isinstance(envelope, HistorySnapshotFrame):
+            self._on_history_snapshot(envelope)
         else:
             raise ProtocolError(f"FlexCast group got unexpected envelope {envelope!r}")
 
@@ -629,6 +635,18 @@ class FlexCastGroup(AtomicMulticastGroup):
         self.send_descendants(message, ack=True)
         if created and self.history.is_forgotten(message.msg_id):
             self._discard_created_entry(message)
+
+    def _on_history_snapshot(self, envelope: HistorySnapshotFrame) -> None:
+        """Cold sync: a peer pushed its packed live history in one frame.
+
+        Used by rejoin catch-up (``restart_replica``) and any runtime that
+        wants to bring a cold group up to date without waiting for the
+        watermark machinery to overship per-vertex tuples.  Merging is
+        idempotent (duplicates and forgotten ids are filtered), so survivors
+        receiving the same frame are a cheap no-op.
+        """
+        self._merge_history(envelope.delta)
+        self.reprocess_queues()
 
     def _on_ts_propose(self, envelope: FlexCastTsPropose) -> None:
         """Hybrid mode: another destination's Skeen proposal for ``message``.
@@ -887,7 +905,9 @@ class FlexCastGroup(AtomicMulticastGroup):
         (``send-descendants``), preceded by any required notifs."""
         self.send_notifs(message)
         entry = self._pending_for(message)
-        notified = frozenset(entry.notified)
+        # Almost every envelope carries no notifications; skip the per-hop
+        # frozenset copy for that common case.
+        notified = frozenset(entry.notified) if entry.notified else _NO_NOTIFIED
         ts_proposals: Tuple[TsProposal, ...] = (
             self.ts.proposals_of(message.msg_id)
             if self._timestamped(message)
@@ -1035,7 +1055,7 @@ class FlexCastGroup(AtomicMulticastGroup):
             # smaller-timestamp delivery, both ordinary events.
             return False
         return (
-            self.ancestors_to_ack(message) <= self.ancestors_that_acked(message)
+            self._acks_satisfied(message)
             and self._dependencies_satisfied(message.msg_id)
             and not self._pivot_guard_allows(message.msg_id)
         )
@@ -1105,7 +1125,7 @@ class FlexCastGroup(AtomicMulticastGroup):
 
     def can_deliver(self, message: Message) -> bool:
         """Delivery condition for non-lca destinations (``can-deliver``)."""
-        if not self.ancestors_to_ack(message) <= self.ancestors_that_acked(message):
+        if not self._acks_satisfied(message):
             return False
         if not self._dependencies_satisfied(message.msg_id):
             return False
@@ -1183,16 +1203,11 @@ class FlexCastGroup(AtomicMulticastGroup):
         while len(pivots) > _MAX_PIVOTS:
             oldest = next(iter(pivots))
             del pivots[oldest]
-            self._pivot_anc_cache.pop(oldest, None)
 
     def _pivot_ancestors(self, pivot: str) -> Set[str]:
-        """Memoized ``history.ancestors_of(pivot)`` keyed on the dep epoch."""
-        cached = self._pivot_anc_cache.get(pivot)
-        if cached is not None and cached[0] == self._dep_epoch:
-            return cached[1]
-        ancestors = self.history.ancestors_of(pivot)
-        self._pivot_anc_cache[pivot] = (self._dep_epoch, ancestors)
-        return ancestors
+        """``history.ancestors_of(pivot)`` — memoized inside the history
+        itself (per mutation epoch), shared with ``depends`` and GC."""
+        return self.history.ancestors_of(pivot)
 
     def _dependencies_satisfied(self, msg_id: str) -> bool:
         """True iff no undelivered message addressed to this group precedes
@@ -1246,6 +1261,21 @@ class FlexCastGroup(AtomicMulticastGroup):
         self._dep_cache[msg_id] = (epoch, satisfied)
         return satisfied
 
+    def _acks_satisfied(self, message: Message) -> bool:
+        """``ancestors-to-ack ⊆ ancestors-that-acked`` without materialising
+        either set — this runs once per queue-head check, every pass."""
+        entry = self._pending_for(message)
+        acks = entry.acks
+        my_rank = self._rank(self.group_id)
+        lca = self.lca_of(message)
+        for g in message.dst:
+            if g != lca and g not in acks and self._rank(g) < my_rank:
+                return False
+        for g in entry.notified:
+            if g not in acks and self._rank(g) < my_rank:
+                return False
+        return True
+
     def ancestors_to_ack(self, message: Message) -> Set[GroupId]:
         """Groups whose ack this group must wait for (``ancestors-to-ack``).
 
@@ -1296,7 +1326,6 @@ class FlexCastGroup(AtomicMulticastGroup):
             self.pending.pop(victim, None)
             self.delivered_in_g.discard(victim)
             self._dep_cache.pop(victim, None)
-            self._pivot_anc_cache.pop(victim, None)
         if self._batch_members:
             # Member index entries live exactly as long as their carrier's
             # pending entry; retries of a pruned batch's members are still
@@ -1350,7 +1379,6 @@ class FlexCastGroup(AtomicMulticastGroup):
         self.queues[self.group_id] = deque()
         self._dirty_queues = set()
         self._dep_cache.clear()
-        self._pivot_anc_cache.clear()
         self._dep_epoch += 1
 
     # ------------------------------------------------------------- inspection

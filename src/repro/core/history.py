@@ -22,7 +22,14 @@ invariants):
 * an append-only, monotonically versioned *change journal* records every
   vertex/edge insertion; diff computation is a slice of the journal past a
   descendant's watermark (:meth:`History.changes_since`), not a rescan of the
-  whole DAG.
+  whole DAG;
+* the *cold* path (a brand-new or long-gone descendant whose watermark
+  predates the retained journal) ships a packed
+  :class:`~repro.core.message.HistorySnapshot` plus the journal suffix past
+  the snapshot's version instead of re-materialising per-vertex tuples, and
+  :meth:`History.merge_delta` batch-applies the whole delta with one WAL
+  record — so reconnects and rejoins cost O(affected), not O(|H|) python
+  object churn.
 """
 
 from __future__ import annotations
@@ -32,7 +39,7 @@ from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Protocol, Set
 
 from ..obs.registry import MetricsRegistry
 from ..overlay.base import GroupId
-from .message import EMPTY_DELTA, HistoryDelta, Message
+from .message import EMPTY_DELTA, HistoryDelta, HistorySnapshot, Message
 
 #: Journal entry kinds.  Entries are plain tuples to keep append cheap:
 #: ``(_JOURNAL_VERTEX, msg_id, dst)`` or ``(_JOURNAL_EDGE, before, after)``.
@@ -41,9 +48,22 @@ _JOURNAL_EDGE = "e"
 
 #: Extra WAL-only record kinds (never in the in-memory journal): a local
 #: delivery (the ``lastDlvd`` / delivered-set transition must survive a
-#: restart even though diffs never ship it) and a garbage-collection round.
+#: restart even though diffs never ship it), a garbage-collection round, and
+#: a batched delta merge (one record per :meth:`History.merge_delta` /
+#: :meth:`History.install_snapshot` instead of one per vertex/edge).
 _WAL_DELIVERY = "d"
 _WAL_FORGET = "f"
+_WAL_DELTA = "D"
+
+#: A diff request at watermark 0 switches from the journal slice to the
+#: packed-snapshot cold path once the history's version reaches this many
+#: journal entries; below it, slicing a short journal is cheaper than
+#: building/caching a snapshot.
+COLD_SYNC_MIN_ENTRIES = 256
+
+#: Memoized backward-reachability sets kept per mutation epoch (bounded so a
+#: pathological query pattern cannot pin O(|H|^2) memory).
+_ANC_CACHE_MAX = 128
 
 #: Default WAL length (records) above which journal compaction also writes a
 #: snapshot and resets the WAL, so recovery replays snapshot + suffix.
@@ -113,6 +133,11 @@ class History:
         "_store_name",
         "_snapshot_min",
         "_delivered_local",
+        "_snapshot_cache",
+        "_anc_cache",
+        "_anc_cache_epoch",
+        "_mutation_epoch",
+        "_cold_sync_min",
     )
 
     def __init__(self) -> None:
@@ -142,6 +167,18 @@ class History:
         # vertices merged from ancestors' deltas.  Needed at recovery to
         # rebuild the protocol's delivered set; cheap to maintain otherwise.
         self._delivered_local: Set[str] = set()
+        # Packed snapshot reused across cold diffs.  Valid while no vertex has
+        # been removed since it was built (the journal suffix past its version
+        # then reconstructs the live DAG exactly); GC invalidates it.
+        self._snapshot_cache: Optional[HistorySnapshot] = None
+        # Memoized backward reachability (ancestors_of).  Keyed per vertex,
+        # valid for one mutation epoch: the epoch advances whenever an edge is
+        # added or a vertex removed (vertex *additions* cannot change existing
+        # reachability, so they do not invalidate).
+        self._anc_cache: Dict[str, Set[str]] = {}
+        self._anc_cache_epoch = 0
+        self._mutation_epoch = 0
+        self._cold_sync_min = COLD_SYNC_MIN_ENTRIES
 
     # ---------------------------------------------------------------- basics
     def __contains__(self, msg_id: str) -> bool:
@@ -210,6 +247,7 @@ class History:
             return
         succ.add(after)
         self.predecessors[after].add(before)
+        self._mutation_epoch += 1
         self._journal.append((_JOURNAL_EDGE, before, after))
         if self._wal is not None:
             self._wal.append([_JOURNAL_EDGE, before, after])
@@ -231,42 +269,180 @@ class History:
             self._wal.append([_WAL_DELIVERY, message.msg_id])
 
     def merge_delta(self, delta: HistoryDelta) -> None:
-        """Integrate an ancestor's history delta (``update-hst``)."""
+        """Integrate an ancestor's history delta (``update-hst``).
+
+        The whole delta — packed snapshot (cold sync), then journal suffix —
+        is applied as one batch: indexes are updated incrementally per entry
+        but the WAL receives a *single* record covering everything actually
+        applied, so a reconnect-sized delta costs one durable append instead
+        of one per vertex/edge.
+        """
         if delta is None or delta.is_empty:
             return
-        for msg_id, dst in delta.vertices:
-            self.add_vertex(msg_id, dst)
-        for before, after in delta.edges:
-            # An edge may reference a vertex whose record arrived in an
-            # earlier delta; both endpoints must exist (or be forgotten).
-            self.add_edge(before, after)
+        applied_v: List[Tuple[str, FrozenSet[GroupId]]] = []
+        applied_e: List[Tuple[str, str]] = []
+        if delta.snapshot is not None:
+            av, ae = self._install_snapshot_content(delta.snapshot)
+            applied_v += av
+            applied_e += ae
+        av, ae = self._bulk_apply(delta.vertices, delta.edges)
+        applied_v += av
+        applied_e += ae
+        self._wal_log_delta(applied_v, applied_e)
+
+    def install_snapshot(self, snapshot: HistorySnapshot) -> Tuple[int, int]:
+        """Bulk-merge a packed snapshot into this history.
+
+        On an empty, never-compacted history the indexes are swapped in
+        wholesale (no per-entry journal replay); otherwise the content is
+        batch-applied through the same incremental path as
+        :meth:`merge_delta`.  Either way durability costs one WAL record.
+        Returns ``(vertices_applied, edges_applied)``.
+        """
+        applied_v, applied_e = self._install_snapshot_content(snapshot)
+        self._wal_log_delta(applied_v, applied_e)
+        return len(applied_v), len(applied_e)
+
+    def _install_snapshot_content(
+        self, snapshot: HistorySnapshot
+    ) -> Tuple[List[Tuple[str, FrozenSet[GroupId]]], List[Tuple[str, str]]]:
+        if snapshot.is_empty:
+            return [], []
+        fresh = (
+            not self.destinations
+            and not self._forgotten
+            and not self._journal
+            and self._journal_base == 0
+        )
+        if not fresh:
+            return self._bulk_apply(
+                zip(snapshot.ids, snapshot.dsts),
+                zip(snapshot.edges_a, snapshot.edges_b),
+            )
+        # Brand-new history: swap the indexes in wholesale.  The installed
+        # entries are treated as pre-compacted journal history (journal_base
+        # advances past them), so this node's own descendants fall below the
+        # base and get the cold snapshot path — no per-entry journal replay
+        # anywhere.
+        ids, dsts = snapshot.ids, snapshot.dsts
+        self.destinations = dict(zip(ids, dsts))
+        self.successors = {mid: set() for mid in ids}
+        self.predecessors = {mid: set() for mid in ids}
+        by_group = self._by_group
+        for mid, dst in zip(ids, dsts):
+            for group in dst:
+                members = by_group.get(group)
+                if members is None:
+                    by_group[group] = members = set()
+                members.add(mid)
+        applied_e: List[Tuple[str, str]] = []
+        successors = self.successors
+        predecessors = self.predecessors
+        for a, b in zip(snapshot.edges_a, snapshot.edges_b):
+            succ = successors.get(a)
+            if succ is None or b not in predecessors or a == b or b in succ:
+                continue
+            succ.add(b)
+            predecessors[b].add(a)
+            applied_e.append((a, b))
+        if applied_e:
+            self._mutation_epoch += 1
+        self._journal_base = len(ids) + len(applied_e)
+        self._snapshot_cache = None
+        return list(zip(ids, dsts)), applied_e
+
+    def _bulk_apply(
+        self,
+        vertices: Iterable[Tuple[str, FrozenSet[GroupId]]],
+        edges: Iterable[Tuple[str, str]],
+    ) -> Tuple[List[Tuple[str, FrozenSet[GroupId]]], List[Tuple[str, str]]]:
+        """Apply vertices/edges with :meth:`add_vertex`/:meth:`add_edge`
+        semantics (idempotent, forgotten-filtered, journaled) but without
+        per-entry WAL appends; returns what was actually applied."""
+        destinations = self.destinations
+        forgotten = self._forgotten
+        successors = self.successors
+        predecessors = self.predecessors
+        by_group = self._by_group
+        journal = self._journal
+        applied_v: List[Tuple[str, FrozenSet[GroupId]]] = []
+        applied_e: List[Tuple[str, str]] = []
+        for msg_id, dst in vertices:
+            if msg_id in forgotten or msg_id in destinations:
+                continue
+            destinations[msg_id] = dst
+            successors.setdefault(msg_id, set())
+            predecessors.setdefault(msg_id, set())
+            for group in dst:
+                members = by_group.get(group)
+                if members is None:
+                    by_group[group] = members = set()
+                members.add(msg_id)
+            journal.append((_JOURNAL_VERTEX, msg_id, dst))
+            applied_v.append((msg_id, dst))
+        for before, after in edges:
+            if before in forgotten or after in forgotten:
+                continue
+            if before not in destinations or after not in destinations:
+                continue
+            if before == after:
+                continue
+            succ = successors[before]
+            if after in succ:
+                continue
+            succ.add(after)
+            predecessors[after].add(before)
+            journal.append((_JOURNAL_EDGE, before, after))
+            applied_e.append((before, after))
+        if applied_e:
+            self._mutation_epoch += 1
+        return applied_v, applied_e
+
+    def _wal_log_delta(
+        self,
+        applied_v: List[Tuple[str, FrozenSet[GroupId]]],
+        applied_e: List[Tuple[str, str]],
+    ) -> None:
+        if self._wal is None or not (applied_v or applied_e):
+            return
+        self._wal.append(
+            [
+                _WAL_DELTA,
+                [[mid, sorted(dst, key=str)] for mid, dst in applied_v],
+                [[a, b] for a, b in applied_e],
+            ]
+        )
 
     # --------------------------------------------------------------- queries
     def depends(self, later: str, earlier: str) -> bool:
         """True iff ``later`` (transitively) depends on ``earlier``.
 
         Implements the paper's ``depend(m, m')``: there is a path of
-        dependency edges from ``earlier`` to ``later``.
+        dependency edges from ``earlier`` to ``later``.  Answered from the
+        memoized backward-reachability set of ``later`` (the same index the
+        delivery guard uses), so repeated queries against a stable DAG are
+        O(1) after the first instead of a fresh BFS each time.
         """
         if earlier == later:
             return False
         if earlier not in self.destinations:
             return False
-        # BFS forward from `earlier` through successor edges.
-        queue = deque(self.successors.get(earlier, ()))
-        seen: Set[str] = set()
-        while queue:
-            node = queue.popleft()
-            if node == later:
-                return True
-            if node in seen:
-                continue
-            seen.add(node)
-            queue.extend(self.successors.get(node, ()))
-        return False
+        return earlier in self.ancestors_of(later)
 
     def ancestors_of(self, msg_id: str) -> Set[str]:
-        """All messages ``msg_id`` transitively depends on."""
+        """All messages ``msg_id`` transitively depends on.
+
+        Memoized per mutation epoch; the returned set is shared with the
+        memo, so callers must treat it as **read-only** (derive new sets via
+        ``-``/``|`` as :meth:`collect_garbage` does).
+        """
+        cache = self._anc_cache
+        if self._anc_cache_epoch != self._mutation_epoch:
+            cache.clear()
+            self._anc_cache_epoch = self._mutation_epoch
+        cached = cache.get(msg_id)
+        if cached is not None:
+            return cached
         result: Set[str] = set()
         queue = deque(self.predecessors.get(msg_id, ()))
         while queue:
@@ -275,6 +451,9 @@ class History:
                 continue
             result.add(node)
             queue.extend(self.predecessors.get(node, ()))
+        if len(cache) >= _ANC_CACHE_MAX:
+            cache.clear()
+        cache[msg_id] = result
         return result
 
     def messages_addressed_to(self, group: GroupId) -> List[str]:
@@ -309,31 +488,56 @@ class History:
     # ----------------------------------------------------------- journal/diff
     def changes_since(
         self, watermark: int
-    ) -> Tuple[Tuple[Tuple[str, FrozenSet[GroupId]], ...], Tuple[Tuple[str, str], ...], int]:
-        """Live vertices/edges journaled at or after ``watermark``.
+    ) -> Tuple[
+        Tuple[Tuple[str, FrozenSet[GroupId]], ...],
+        Tuple[Tuple[str, str], ...],
+        Optional[HistorySnapshot],
+        int,
+    ]:
+        """Changes journaled at or after ``watermark``.
 
-        Returns ``(vertices, edges, version)`` where ``version`` is the new
-        watermark for the caller.  Entries whose vertices were pruned in the
-        meantime are filtered out, so a forgotten message can never reappear
-        in a delta.  If ``watermark`` predates the retained journal (only
-        possible for a brand-new descendant after compaction), the full live
-        history is returned instead.
+        Returns ``(vertices, edges, snapshot, version)`` where ``version`` is
+        the new watermark for the caller.  Entries whose vertices were pruned
+        in the meantime are filtered out, so a forgotten message can never
+        reappear in a delta.
+
+        The *warm* path (watermark within the retained journal, modest gap)
+        returns a journal slice with ``snapshot is None``.  The *cold* path —
+        the watermark predates the retained journal, or a brand-new caller
+        (watermark 0) faces a long journal — returns the cached packed
+        :class:`HistorySnapshot` plus the short journal suffix past the
+        snapshot's version.  Both carry exactly the live content the caller
+        is missing; the cold form just avoids re-materialising O(|H|)
+        per-vertex tuples for every reconnect.
         """
         version = self.version
         if watermark >= version:
-            return (), (), version
-        if watermark < self._journal_base:
-            # The journal below the base was compacted because every tracked
-            # descendant had already seen it; a caller this far behind has
-            # never been sent anything, so ship the whole live history once.
-            vertices = tuple(self.destinations.items())
-            edges = tuple(self.edges())
-            return vertices, edges, version
+            return (), (), None, version
+        cold = watermark < self._journal_base or (
+            watermark == 0 and version >= self._cold_sync_min
+        )
+        if not cold:
+            vertices, edges = self._journal_slice(watermark)
+            return vertices, edges, None, version
+        # The journal below the base was compacted because every tracked
+        # descendant had already seen it; a caller this far behind has never
+        # been sent anything (or lost what it had), so ship the whole live
+        # history once — as a packed snapshot shared across such callers.
+        snapshot = self.live_snapshot()
+        if snapshot.version >= version:
+            return (), (), snapshot, version
+        vertices, edges = self._journal_slice(snapshot.version)
+        return vertices, edges, snapshot, version
+
+    def _journal_slice(
+        self, since: int
+    ) -> Tuple[Tuple[Tuple[str, FrozenSet[GroupId]], ...], Tuple[Tuple[str, str], ...]]:
+        """Live vertices/edges journaled at or after ``since`` (>= base)."""
         new_vertices: List[Tuple[str, FrozenSet[GroupId]]] = []
         new_edges: List[Tuple[str, str]] = []
         destinations = self.destinations
         successors = self.successors
-        for entry in self._journal[watermark - self._journal_base :]:
+        for entry in self._journal[since - self._journal_base :]:
             if entry[0] == _JOURNAL_VERTEX:
                 if entry[1] in destinations:
                     new_vertices.append((entry[1], entry[2]))
@@ -341,7 +545,57 @@ class History:
                 before, after = entry[1], entry[2]
                 if after in successors.get(before, ()):
                     new_edges.append((before, after))
-        return tuple(new_vertices), tuple(new_edges), version
+        return tuple(new_vertices), tuple(new_edges)
+
+    def live_snapshot(self) -> HistorySnapshot:
+        """The live history as a packed snapshot (parallel arrays), cached.
+
+        The cache stays valid while the history only *grows* — new entries
+        land in the journal past ``snapshot.version``, so cold diffs are
+        ``cached snapshot + short suffix``.  Garbage collection invalidates
+        it (a pruned vertex must never ship: the receiver would park it in
+        its pending set forever), and it is rebuilt when compaction passes
+        its version or the suffix outgrows the live size.
+        """
+        snapshot = self._snapshot_cache
+        version = self.version
+        if (
+            snapshot is None
+            or snapshot.version < self._journal_base
+            or version - snapshot.version > max(self._cold_sync_min, len(self.destinations))
+        ):
+            edges_a: List[str] = []
+            edges_b: List[str] = []
+            for a, succ in self.successors.items():
+                for b in succ:
+                    edges_a.append(a)
+                    edges_b.append(b)
+            snapshot = HistorySnapshot(
+                ids=tuple(self.destinations),
+                dsts=tuple(self.destinations.values()),
+                edges_a=tuple(edges_a),
+                edges_b=tuple(edges_b),
+                last_delivered=self.last_delivered,
+                version=version,
+            )
+            self._snapshot_cache = snapshot
+        return snapshot
+
+    def cold_delta(self) -> HistoryDelta:
+        """The full live history as a snapshot-bearing delta (cold sync)."""
+        snapshot = self.live_snapshot()
+        vertices, edges = (
+            ((), ())
+            if snapshot.version >= self.version
+            else self._journal_slice(snapshot.version)
+        )
+        return HistoryDelta(
+            vertices=vertices,
+            edges=edges,
+            last_delivered=self.last_delivered,
+            seq=self.version,
+            snapshot=snapshot,
+        )
 
     def compact_journal(self, upto: int) -> int:
         """Drop journal entries below sequence number ``upto``.
@@ -391,6 +645,10 @@ class History:
         return victims
 
     def _remove_vertex(self, msg_id: str) -> None:
+        # A pruned vertex must never appear in a future delta, so the packed
+        # snapshot (if any) is stale from here on; reachability changed too.
+        self._snapshot_cache = None
+        self._mutation_epoch += 1
         for succ in self.successors.pop(msg_id, set()):
             self.predecessors.get(succ, set()).discard(msg_id)
         for pred in self.predecessors.pop(msg_id, set()):
@@ -544,6 +802,13 @@ class History:
             for victim in record[1]:
                 self._remove_vertex(victim)
             self._forgotten.update(record[1])
+        elif kind == _WAL_DELTA:
+            # Batched merge: replay through the idempotent per-entry path
+            # (no WAL attached during replay, so nothing is re-logged).
+            for mid, dst in record[1]:
+                self.add_vertex(mid, frozenset(dst))
+            for before, after in record[2]:
+                self.add_edge(before, after)
         else:
             raise ValueError(f"unknown history WAL record kind: {kind!r}")
 
@@ -604,21 +869,31 @@ class HistoryDiffTracker:
         #: descendant -> vertex ids shipped so far (introspection/debugging
         #: only; the diff computation never consults it).
         self._sent_vertices: Dict[GroupId, Set[str]] = {}
+        #: descendant -> packed snapshots shipped on the cold path.  The
+        #: snapshot object is shared with the history's cache, so recording a
+        #: cold sync is O(1); :meth:`sent_to` flattens lazily.
+        self._sent_snapshots: Dict[GroupId, List[HistorySnapshot]] = {}
+        #: ids garbage-collected after a snapshot shipped them (subtracted
+        #: lazily in :meth:`sent_to`; empty while no cold sync happened).
+        self._forgotten_sent: Set[str] = set()
 
     def diff_for(self, descendant: GroupId, history: History) -> HistoryDelta:
         """Compute the delta for ``descendant`` and advance its watermark."""
         watermark = self._watermarks.get(descendant, 0)
-        vertices, edges, version = history.changes_since(watermark)
+        vertices, edges, snapshot, version = history.changes_since(watermark)
         self._watermarks[descendant] = version
-        if not vertices and not edges:
+        if not vertices and not edges and snapshot is None:
             return EMPTY_DELTA
         sent_v = self._sent_vertices.setdefault(descendant, set())
+        if snapshot is not None:
+            self._sent_snapshots.setdefault(descendant, []).append(snapshot)
         sent_v.update(mid for mid, _ in vertices)
         return HistoryDelta(
             vertices=vertices,
             edges=edges,
             last_delivered=history.last_delivered,
             seq=version,
+            snapshot=snapshot,
         )
 
     #: Retained journal entries are capped at ``_JOURNAL_SLACK × live size``
@@ -644,6 +919,8 @@ class HistoryDiffTracker:
         victims = set(msg_ids)
         for sent_v in self._sent_vertices.values():
             sent_v -= victims
+        if self._sent_snapshots:
+            self._forgotten_sent |= victims
         if history is None:
             return 0
         floor = min(self._watermarks.values(), default=history.version)
@@ -657,4 +934,7 @@ class HistoryDiffTracker:
 
     def sent_to(self, descendant: GroupId) -> Set[str]:
         """Vertex ids already shipped to ``descendant`` (introspection)."""
-        return set(self._sent_vertices.get(descendant, set()))
+        sent = set(self._sent_vertices.get(descendant, ()))
+        for snapshot in self._sent_snapshots.get(descendant, ()):
+            sent.update(snapshot.ids)
+        return sent - self._forgotten_sent

@@ -28,8 +28,9 @@ path").
 from __future__ import annotations
 
 import itertools
+import sys
 from dataclasses import dataclass, field
-from typing import Any, FrozenSet, Iterable, Optional, Tuple
+from typing import Any, FrozenSet, Iterable, Iterator, Optional, Tuple
 
 from ..overlay.base import GroupId
 
@@ -58,7 +59,7 @@ def reset_message_ids() -> None:
     _id_counter = itertools.count()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """An application-level atomic multicast message.
 
@@ -100,6 +101,14 @@ class Message:
     is_flush: bool = False
     trace_id: Optional[str] = None
     members: Tuple["Message", ...] = ()
+
+    def __post_init__(self) -> None:
+        # Message ids recur in every history vertex, edge, journal entry,
+        # pending-set key and wire frame a deployment ever touches; interning
+        # collapses the per-hop string copies a decode path would otherwise
+        # mint and turns the protocol's id-equality checks into pointer
+        # comparisons.
+        object.__setattr__(self, "msg_id", sys.intern(self.msg_id))
 
     @staticmethod
     def create(
@@ -203,7 +212,55 @@ class Message:
 
 
 # --------------------------------------------------------------------------- history delta
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
+class HistorySnapshot:
+    """A compact packed form of a history's entire live vertex+edge set.
+
+    This is the cold-sync payload: when a descendant's diff watermark falls
+    below the sender's retained journal (or the descendant has never been
+    sent anything), the sender ships one prebuilt snapshot instead of
+    re-materialising per-entry tuples of the whole live history on every
+    call.  The shape is parallel arrays — ``ids[i]`` is addressed to
+    ``dsts[i]``, and ``edges_a[j] -> edges_b[j]`` is a dependency edge —
+    mirroring the PR-6 durable-snapshot schema, so one builder serves both
+    the wire and the storage layer.
+
+    ``version`` is the sender-side journal version the snapshot was taken
+    at: journal entries past it are shipped as an ordinary suffix next to
+    the snapshot inside the same :class:`HistoryDelta`, which is what makes
+    a cached snapshot exact between garbage collections (the history only
+    grows through the journal).
+    """
+
+    ids: Tuple[str, ...] = ()
+    dsts: Tuple[FrozenSet[GroupId], ...] = ()
+    edges_a: Tuple[str, ...] = ()
+    edges_b: Tuple[str, ...] = ()
+    last_delivered: Optional[str] = None
+    version: int = 0
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.ids and not self.edges_a
+
+    def __len__(self) -> int:
+        return len(self.ids) + len(self.edges_a)
+
+    def iter_vertices(self) -> Iterator[Tuple[str, FrozenSet[GroupId]]]:
+        return zip(self.ids, self.dsts)
+
+    def iter_edges(self) -> Iterator[Tuple[str, str]]:
+        return zip(self.edges_a, self.edges_b)
+
+    def size_bytes(self) -> int:
+        return (
+            len(self.ids) * _HISTORY_VERTEX_BYTES
+            + len(self.edges_a) * _HISTORY_EDGE_BYTES
+            + (_MSG_ID_BYTES if self.last_delivered else 0)
+        )
+
+
+@dataclass(frozen=True, slots=True)
 class HistoryDelta:
     """The portion of a group's history shipped inside an envelope.
 
@@ -216,33 +273,63 @@ class HistoryDelta:
     up to (the watermark contract in DESIGN.md).  It is observability
     metadata: receivers merge deltas purely by content, and the size model
     counts it as part of the envelope header, not the delta payload.
+
+    A *cold* delta additionally carries a :class:`HistorySnapshot` — the
+    sender's packed live history as of ``snapshot.version`` — with
+    ``vertices``/``edges`` reduced to the journal suffix past it.  The
+    logical content is ``snapshot ∪ suffix`` (:meth:`iter_vertices` /
+    :meth:`iter_edges`); receivers bulk-install the snapshot and then apply
+    the suffix, which is what makes the cold path O(affected) instead of a
+    per-entry replay of the sender's whole history.
     """
 
     vertices: Tuple[Tuple[str, FrozenSet[GroupId]], ...] = ()
     edges: Tuple[Tuple[str, str], ...] = ()
     last_delivered: Optional[str] = None
     seq: Optional[int] = None
+    snapshot: Optional[HistorySnapshot] = None
 
     @property
     def is_empty(self) -> bool:
-        return not self.vertices and not self.edges
+        return (
+            not self.vertices
+            and not self.edges
+            and (self.snapshot is None or self.snapshot.is_empty)
+        )
+
+    def iter_vertices(self) -> Iterator[Tuple[str, FrozenSet[GroupId]]]:
+        """All shipped vertices: snapshot contents first, then the suffix."""
+        if self.snapshot is not None:
+            yield from self.snapshot.iter_vertices()
+        yield from self.vertices
+
+    def iter_edges(self) -> Iterator[Tuple[str, str]]:
+        """All shipped edges: snapshot contents first, then the suffix."""
+        if self.snapshot is not None:
+            yield from self.snapshot.iter_edges()
+        yield from self.edges
 
     def size_bytes(self) -> int:
         return (
             len(self.vertices) * _HISTORY_VERTEX_BYTES
             + len(self.edges) * _HISTORY_EDGE_BYTES
             + (_MSG_ID_BYTES if self.last_delivered else 0)
+            + (self.snapshot.size_bytes() if self.snapshot is not None else 0)
         )
 
     def __len__(self) -> int:
-        return len(self.vertices) + len(self.edges)
+        return (
+            len(self.vertices)
+            + len(self.edges)
+            + (len(self.snapshot) if self.snapshot is not None else 0)
+        )
 
 
 EMPTY_DELTA = HistoryDelta()
 
 
 # --------------------------------------------------------------------------- envelopes
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Envelope:
     """Base class for everything sent between nodes."""
 
@@ -250,7 +337,7 @@ class Envelope:
         return _HEADER_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientRequest(Envelope):
     """Client -> group: submit a multicast message to the protocol."""
 
@@ -261,7 +348,7 @@ class ClientRequest(Envelope):
         return _HEADER_BYTES + self.message.size_bytes()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlexCastBatch(ClientRequest):
     """Client -> lca: a coalesced window of same-destination messages.
 
@@ -281,7 +368,7 @@ class FlexCastBatch(ClientRequest):
     kind: str = field(default="batch", init=False)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientResponse(Envelope):
     """Group -> client: the group delivered the message."""
 
@@ -298,7 +385,7 @@ TsProposal = Tuple[GroupId, int]
 _TS_PROPOSAL_BYTES = _GROUP_ID_BYTES + _TIMESTAMP_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlexCastMsg(Envelope):
     """FlexCast ``msg``: lca -> other destinations, with a history delta."""
 
@@ -324,7 +411,7 @@ class FlexCastMsg(Envelope):
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlexCastAck(Envelope):
     """FlexCast ``ack``: a destination informs its descendants of its history."""
 
@@ -350,7 +437,7 @@ class FlexCastAck(Envelope):
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlexCastNotif(Envelope):
     """FlexCast ``notif``: ask a non-destination group to flush its dependencies."""
 
@@ -371,7 +458,32 @@ class FlexCastNotif(Envelope):
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
+class HistorySnapshotFrame(Envelope):
+    """A group's cold-sync transfer: its packed live history as one frame.
+
+    This is the explicit wire form of the snapshot-bearing delta the diff
+    tracker already produces for far-behind descendants.  It exists so
+    out-of-band catch-up paths — the asyncio runtime pushing state to a
+    rebooted peer, :meth:`repro.smr.replica.ReplicatedGroup.restart_replica`
+    ordering a bulk sync through the group's log — ship exactly the same
+    O(affected) payload the msg/ack/notif envelopes do, instead of growing a
+    second, per-entry transfer format.  Receivers merge it like any other
+    delta (idempotent; forgotten ids are filtered), so duplicated or stale
+    frames are harmless.
+    """
+
+    group: GroupId
+    delta: HistoryDelta
+    #: Overlay-configuration epoch the sender was in (observability only).
+    epoch: int = 0
+    kind: str = field(default="history-snapshot", init=False)
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + _EPOCH_BYTES + _GROUP_ID_BYTES + self.delta.size_bytes()
+
+
+@dataclass(frozen=True, slots=True)
 class FlexCastTsPropose(Envelope):
     """Hybrid mode: one destination's Skeen proposal for a global message.
 
@@ -413,7 +525,7 @@ class FlexCastTsPropose(Envelope):
 
 
 # ------------------------------------------------- reconfiguration envelopes
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EpochPrepare(Envelope):
     """Coordinator -> group: stop admitting new client requests, start drain.
 
@@ -434,7 +546,7 @@ class EpochPrepare(Envelope):
         return _HEADER_BYTES + _EPOCH_BYTES + 2 * _MSG_ID_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EpochPrepareAck(Envelope):
     """Group -> coordinator: intake stopped for the old epoch."""
 
@@ -446,7 +558,7 @@ class EpochPrepareAck(Envelope):
         return _HEADER_BYTES + _EPOCH_BYTES + _GROUP_ID_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QuiesceQuery(Envelope):
     """Coordinator -> group: report your drain state for ``round_id``."""
 
@@ -460,7 +572,7 @@ class QuiesceQuery(Envelope):
         return _HEADER_BYTES + _EPOCH_BYTES + 2 * _MSG_ID_BYTES + _TIMESTAMP_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QuiesceReply(Envelope):
     """Group -> coordinator: local drain state.
 
@@ -484,7 +596,7 @@ class QuiesceReply(Envelope):
         return _HEADER_BYTES + _EPOCH_BYTES + _GROUP_ID_BYTES + 3 * _TIMESTAMP_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EpochSwitch(Envelope):
     """Coordinator -> group: install the new overlay and enter ``new_epoch``."""
 
@@ -502,7 +614,7 @@ class EpochSwitch(Envelope):
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EpochSwitchAck(Envelope):
     """Group -> coordinator: switched to ``epoch`` and resumed intake."""
 
@@ -514,7 +626,7 @@ class EpochSwitchAck(Envelope):
         return _HEADER_BYTES + _EPOCH_BYTES + _GROUP_ID_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EpochBounce(Envelope):
     """Receiver -> sender of a stale-epoch envelope: re-route this message.
 
@@ -532,7 +644,7 @@ class EpochBounce(Envelope):
         return _HEADER_BYTES + _EPOCH_BYTES + _GROUP_ID_BYTES + self.message.size_bytes()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SkeenTimestamp(Envelope):
     """Skeen: a destination's local timestamp for a message."""
 
@@ -545,7 +657,7 @@ class SkeenTimestamp(Envelope):
         return _HEADER_BYTES + _MSG_ID_BYTES + _TIMESTAMP_BYTES + _GROUP_ID_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SkeenPropose(Envelope):
     """Skeen: the message as disseminated to every destination group."""
 
@@ -556,7 +668,7 @@ class SkeenPropose(Envelope):
         return _HEADER_BYTES + self.message.size_bytes()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TreeForward(Envelope):
     """Hierarchical: a message ordered by a group and pushed to a child."""
 

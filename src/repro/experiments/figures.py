@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Sequence, Tuple
 
-from ..metrics.collector import NodeTrafficReport, traffic_report
+from ..metrics import NodeTrafficReport, traffic_report
 from ..metrics.overhead import OverheadReport
 from ..metrics.report import (
     format_latency_comparison,

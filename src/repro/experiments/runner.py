@@ -16,7 +16,7 @@ from typing import Dict, List, Optional
 from ..core.flexcast import FlexCastProtocol
 from ..core.garbage import FlushCoordinator
 from ..core.message import ClientRequest, ClientResponse, Message, PAYLOAD_KINDS
-from ..metrics.collector import LatencyCollector
+from ..metrics import LatencyCollector
 from ..metrics.overhead import OverheadReport, compute_overhead
 from ..overlay.base import GroupId
 from ..overlay.builders import standard_overlays

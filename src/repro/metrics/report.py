@@ -1,16 +1,185 @@
-"""Plain-text report formatting.
+"""Collecting and reporting the paper's evaluation metrics.
 
-Benchmarks and examples print tables in the same layout as the paper
-(Tables 2-4) so measured values can be compared line by line; these helpers
-keep the formatting in one place.
+One module holds the whole raw-events-to-text pipeline (the package surface
+is ``repro.metrics``; import from there):
+
+* :class:`LatencyCollector` — accumulates completed transactions and answers
+  the per-destination latency / throughput queries behind Figures 5-7 and
+  Tables 2-3.  The paper discards the first and last 10% of each run to
+  exclude warm-up and cool-down noise; :meth:`LatencyCollector.trimmed`
+  implements the same rule.
+* :func:`traffic_report` / :class:`NodeTrafficReport` — per-node messages/s,
+  average message size and KB/s from the network's byte counters (Figure 8).
+* the ``format_*`` helpers — fixed-width text tables in the same layout as
+  the paper so measured values can be compared line by line.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Mapping, Sequence
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from .collector import NodeTrafficReport
+from ..obs import Observability
+from ..overlay.base import GroupId
+from ..sim.network import NodeTraffic
+from ..workload.clients import CompletedTransaction
 from .overhead import OverheadReport
+from .stats import cdf_points, percentiles
+
+
+class LatencyCollector:
+    """Accumulates completed transactions and answers latency queries.
+
+    With an observability hub attached (:meth:`attach_obs`), every recorded
+    transaction is emitted on the hub's delivery feed
+    (:meth:`~repro.obs.Observability.emit_delivery`) — that is the
+    delivery-path signal the workload monitor
+    (:mod:`repro.reconfig.monitor`) subscribes to.
+    """
+
+    def __init__(self) -> None:
+        self.transactions: List[CompletedTransaction] = []
+        self._obs: Optional[Observability] = None
+
+    # ------------------------------------------------------------- collection
+    def attach_obs(self, obs: Observability) -> None:
+        """Attach an observability hub: recorded txns feed its delivery feed."""
+        self._obs = obs
+        obs.registry.counter(
+            "collector_transactions_total",
+            "Completed transactions recorded by the latency collector.",
+            fn=lambda: len(self.transactions),
+        )
+
+    def record(self, txn: CompletedTransaction) -> None:
+        self.transactions.append(txn)
+        if self._obs is not None:
+            # Transactions predating the ``destination_set`` field (or with
+            # an empty one) are skipped rather than guessed at.
+            dst = getattr(txn, "destination_set", frozenset())
+            if dst:
+                self._obs.emit_delivery(txn.home, frozenset(dst), txn.completed_at)
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    # ---------------------------------------------------------------- trimming
+    def trimmed(self, warmup_fraction: float = 0.10) -> "LatencyCollector":
+        """Return a collector holding only the middle of the run.
+
+        Drops the transactions completed in the first and last
+        ``warmup_fraction`` of the measured time span (the paper's 10%).
+        """
+        if not self.transactions or warmup_fraction <= 0.0:
+            return self
+        times = [t.completed_at for t in self.transactions]
+        start, end = min(times), max(times)
+        span = end - start
+        lo = start + warmup_fraction * span
+        hi = end - warmup_fraction * span
+        trimmed = LatencyCollector()
+        trimmed.transactions = [
+            t for t in self.transactions if lo <= t.completed_at <= hi
+        ]
+        # Degenerate tiny runs: keep the original data rather than nothing.
+        if not trimmed.transactions:
+            trimmed.transactions = list(self.transactions)
+        return trimmed
+
+    # ----------------------------------------------------------------- queries
+    def global_transactions(self) -> List[CompletedTransaction]:
+        return [t for t in self.transactions if t.is_global]
+
+    def latencies_for_destination(self, rank: int, global_only: bool = True) -> List[float]:
+        """Latency samples for the ``rank``-th response (1-based).
+
+        Only transactions that actually had at least ``rank`` destinations
+        contribute, mirroring how the paper separates 1st/2nd/3rd destination
+        charts.
+        """
+        if rank < 1:
+            raise ValueError("destination rank is 1-based")
+        source = self.global_transactions() if global_only else self.transactions
+        return [
+            t.latencies_by_arrival[rank - 1]
+            for t in source
+            if len(t.latencies_by_arrival) >= rank
+        ]
+
+    def completion_latencies(self, global_only: bool = False) -> List[float]:
+        """End-to-end latency (last response) for each transaction."""
+        source = self.global_transactions() if global_only else self.transactions
+        return [t.latencies_by_arrival[-1] for t in source if t.latencies_by_arrival]
+
+    def percentile_table(
+        self, ranks: Sequence[int] = (1, 2, 3), ps: Sequence[float] = (90, 95, 99)
+    ) -> Dict[int, Dict[float, float]]:
+        """The paper's latency tables: {rank: {percentile: value_ms}}.
+
+        Ranks with no samples are omitted (e.g. no 3-destination messages were
+        generated in a short run).
+        """
+        table: Dict[int, Dict[float, float]] = {}
+        for rank in ranks:
+            samples = self.latencies_for_destination(rank)
+            if samples:
+                table[rank] = percentiles(samples, ps)
+        return table
+
+    def cdf_for_destination(self, rank: int) -> List[Tuple[float, float]]:
+        """Empirical CDF of the ``rank``-th destination latency (Figures 5/7)."""
+        return cdf_points(self.latencies_for_destination(rank))
+
+    def throughput_ops_per_sec(self) -> float:
+        """Completed transactions per (virtual) second over the observed span."""
+        if len(self.transactions) < 2:
+            return 0.0
+        times = [t.completed_at for t in self.transactions]
+        span_ms = max(times) - min(times)
+        if span_ms <= 0:
+            return 0.0
+        return len(self.transactions) / (span_ms / 1000.0)
+
+
+@dataclass
+class NodeTrafficReport:
+    """Figure 8 rows for a single node."""
+
+    node: GroupId
+    messages_per_second: float
+    average_message_bytes: float
+    kbytes_per_second: float
+
+
+def traffic_report(
+    traffic: Dict[GroupId, NodeTraffic],
+    duration_ms: float,
+    nodes: Sequence[GroupId],
+) -> List[NodeTrafficReport]:
+    """Convert raw byte counters into the paper's per-node traffic metrics."""
+    if duration_ms <= 0:
+        raise ValueError("duration must be positive")
+    seconds = duration_ms / 1000.0
+    report = []
+    for node in nodes:
+        stats = traffic.get(node, NodeTraffic())
+        report.append(
+            NodeTrafficReport(
+                node=node,
+                messages_per_second=stats.messages_received / seconds,
+                average_message_bytes=stats.average_received_size(),
+                kbytes_per_second=stats.bytes_received / 1024.0 / seconds,
+            )
+        )
+    return report
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:

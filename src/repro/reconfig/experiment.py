@@ -22,7 +22,7 @@ from ..checker.properties import CheckReport, check_epochs, check_trace
 from ..core.garbage import FlushCoordinator
 from ..core.message import ClientRequest, ClientResponse, Message
 from ..experiments.scenarios import TrafficPattern, WorkloadShiftScenario
-from ..metrics.collector import LatencyCollector
+from ..metrics import LatencyCollector
 from ..obs import Observability
 from ..overlay.base import GroupId
 from ..overlay.cdag import CDagOverlay

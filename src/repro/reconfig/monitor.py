@@ -2,7 +2,7 @@
 
 The monitor consumes the observability hub's delivery feed
 (:meth:`repro.obs.Observability.emit_delivery`, emitted by
-:class:`~repro.metrics.collector.LatencyCollector` for every completed
+:class:`~repro.metrics.LatencyCollector` for every completed
 transaction) and maintains, over a sliding window of virtual time:
 
 * ``(home, destination-set)`` multiplicities — the quantity the planner's
@@ -64,8 +64,7 @@ class WorkloadMonitor:
         """Subscribe to ``obs``'s delivery feed.
 
         Every :meth:`~repro.obs.Observability.emit_delivery` (one completed
-        multicast) becomes one :meth:`observe` call; this replaces the old
-        private ``LatencyCollector.add_observer`` hook.
+        multicast) becomes one :meth:`observe` call.
         """
         obs.add_delivery_listener(self._on_delivery)
 

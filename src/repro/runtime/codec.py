@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import struct
+import sys
 from typing import Any, Dict, Tuple
 
 from ..core import message as msg
@@ -63,21 +64,58 @@ def _message_from_dict(d: Dict[str, Any]) -> msg.Message:
     )
 
 
-def _delta_to_dict(delta: msg.HistoryDelta) -> Dict[str, Any]:
+def _snapshot_to_dict(snapshot: msg.HistorySnapshot) -> Dict[str, Any]:
     return {
+        "ids": list(snapshot.ids),
+        "dsts": [sorted(dst) for dst in snapshot.dsts],
+        "edges_a": list(snapshot.edges_a),
+        "edges_b": list(snapshot.edges_b),
+        "last_delivered": snapshot.last_delivered,
+        "version": snapshot.version,
+    }
+
+
+def _snapshot_from_dict(d: Dict[str, Any]) -> msg.HistorySnapshot:
+    intern = sys.intern
+    return msg.HistorySnapshot(
+        ids=tuple(intern(mid) for mid in d.get("ids", [])),
+        dsts=tuple(frozenset(dst) for dst in d.get("dsts", [])),
+        edges_a=tuple(intern(a) for a in d.get("edges_a", [])),
+        edges_b=tuple(intern(b) for b in d.get("edges_b", [])),
+        last_delivered=d.get("last_delivered"),
+        version=d.get("version", 0),
+    )
+
+
+def _delta_to_dict(delta: msg.HistoryDelta) -> Dict[str, Any]:
+    d = {
         "vertices": [[mid, sorted(dst)] for mid, dst in delta.vertices],
         "edges": [list(edge) for edge in delta.edges],
         "last_delivered": delta.last_delivered,
         "seq": delta.seq,
     }
+    if delta.snapshot is not None:
+        # Cold-sync deltas only: warm diffs keep their historical
+        # byte-for-byte frame shape (same emit-only-when-set discipline as
+        # trace_id/members).
+        d["snapshot"] = _snapshot_to_dict(delta.snapshot)
+    return d
 
 
 def _delta_from_dict(d: Dict[str, Any]) -> msg.HistoryDelta:
+    # Delta vertex/edge ids recur across every index and pending-set on the
+    # receiving group; interning at the decode boundary makes the in-memory
+    # copies pointer-identical (see Message.__post_init__).
+    intern = sys.intern
+    snapshot = d.get("snapshot")
     return msg.HistoryDelta(
-        vertices=tuple((mid, frozenset(dst)) for mid, dst in d.get("vertices", [])),
-        edges=tuple((a, b) for a, b in d.get("edges", [])),
+        vertices=tuple(
+            (intern(mid), frozenset(dst)) for mid, dst in d.get("vertices", [])
+        ),
+        edges=tuple((intern(a), intern(b)) for a, b in d.get("edges", [])),
         last_delivered=d.get("last_delivered"),
         seq=d.get("seq"),
+        snapshot=_snapshot_from_dict(snapshot) if snapshot is not None else None,
     )
 
 
@@ -109,6 +147,13 @@ def _encode_envelope(envelope: Any) -> Dict[str, Any]:
             "notified": sorted(envelope.notified),
             "epoch": envelope.epoch,
             "ts_proposals": [list(p) for p in envelope.ts_proposals],
+        }
+    if isinstance(envelope, msg.HistorySnapshotFrame):
+        return {
+            "type": "history-snapshot",
+            "group": envelope.group,
+            "history": _delta_to_dict(envelope.delta),
+            "epoch": envelope.epoch,
         }
     if isinstance(envelope, msg.FlexCastTsPropose):
         return {
@@ -224,6 +269,12 @@ def _decode_envelope(data: Dict[str, Any]) -> Any:
             ts_proposals=tuple(
                 (group, ts) for group, ts in data.get("ts_proposals", [])
             ),
+        )
+    if env_type == "history-snapshot":
+        return msg.HistorySnapshotFrame(
+            group=data["group"],
+            delta=_delta_from_dict(data["history"]),
+            epoch=data.get("epoch", 0),
         )
     if env_type == "flexcast-ts-propose":
         return msg.FlexCastTsPropose(

@@ -332,7 +332,32 @@ class ReplicatedGroup:
         if self._obs is not None:
             replica.attach_obs(self._obs)
         replica.rejoin()
+        self._offer_snapshot_catchup(replica)
         return replica
+
+    def _offer_snapshot_catchup(self, rejoined: GroupReplica) -> None:
+        """Order a packed history snapshot through the log for a rejoiner.
+
+        The current leader's protocol copy packs its live history into a
+        ``history-snapshot`` frame (:func:`repro.storage.recovery.snapshot_frame_for`)
+        and submits it like any other envelope, so the rejoined replica
+        bulk-installs the missing history in one O(affected) merge instead
+        of accumulating per-entry deltas.  Routing it *through* the log
+        keeps every replica's protocol state a pure function of the log
+        (the recovery oracle's invariant): survivors apply the same frame
+        and no-op on the idempotent merge.
+        """
+        leader = self.leader
+        if leader is rejoined:
+            return
+        state = leader.protocol_state
+        if not hasattr(state, "history") or len(state.history) == 0:
+            return
+        from ..storage.recovery import snapshot_frame_for
+
+        frame = snapshot_frame_for(state, epoch=getattr(state, "epoch", 0))
+        if not frame.delta.is_empty:
+            leader.on_message("rejoin-catchup", frame)
 
     def delivered_sequences(self) -> Dict[ReplicaId, List[str]]:
         """Delivery order applied at each replica (for consistency checks)."""

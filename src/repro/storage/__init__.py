@@ -24,7 +24,7 @@ group's history state from a :class:`Storage` at boot.
 from .base import WAL, Storage, StorageError
 from .file import FileStorage
 from .memory import InMemoryStorage
-from .recovery import attach_group_storage
+from .recovery import apply_snapshot_frame, attach_group_storage, snapshot_frame_for
 
 __all__ = [
     "WAL",
@@ -33,4 +33,6 @@ __all__ = [
     "FileStorage",
     "InMemoryStorage",
     "attach_group_storage",
+    "apply_snapshot_frame",
+    "snapshot_frame_for",
 ]

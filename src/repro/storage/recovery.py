@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Any
 
 from ..core.history import SNAPSHOT_MIN_WAL_RECORDS, History
+from ..core.message import HistorySnapshotFrame
 from .base import Storage
 
 
@@ -63,3 +64,37 @@ def attach_group_storage(
     if hasattr(group, "_dep_epoch"):
         group._dep_epoch += 1
     return len(delivered)
+
+
+def snapshot_frame_for(group: Any, epoch: int = 0) -> HistorySnapshotFrame:
+    """Pack ``group``'s live history into a cold-sync frame.
+
+    The frame carries the packed snapshot + journal suffix
+    (:meth:`History.cold_delta`), the same O(affected) transfer shape every
+    diff path uses — ``restart_replica`` orders one through the replicated
+    log so a rejoining replica bulk-installs instead of replaying per-entry
+    deltas, and survivors no-op on the idempotent merge.
+    """
+    if not hasattr(group, "history"):
+        raise TypeError(f"{type(group).__name__} has no history to snapshot")
+    return HistorySnapshotFrame(
+        group=getattr(group, "group_id", 0),
+        delta=group.history.cold_delta(),
+        epoch=epoch,
+    )
+
+
+def apply_snapshot_frame(group: Any, frame: HistorySnapshotFrame) -> None:
+    """Bulk-install a cold-sync frame into ``group``.
+
+    Delegates to the group's own handler when it has one (the FlexCast
+    family dispatches it through ``on_envelope``), so merge side effects
+    (open-dependency index, dirty queues, timestamp acquisition) happen
+    exactly as they would for any received delta.
+    """
+    if hasattr(group, "on_envelope"):
+        group.on_envelope("recovery", frame)
+        return
+    if not hasattr(group, "history"):
+        raise TypeError(f"{type(group).__name__} cannot apply a snapshot frame")
+    group.history.merge_delta(frame.delta)

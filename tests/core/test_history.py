@@ -222,11 +222,12 @@ class TestJournal:
         h.record_delivery(msg("m1", {1}))
         watermark = h.version
         h.record_delivery(msg("m2", {1}))
-        vertices, edges, version = h.changes_since(watermark)
+        vertices, edges, snapshot, version = h.changes_since(watermark)
         assert [mid for mid, _ in vertices] == ["m2"]
         assert edges == (("m1", "m2"),)
+        assert snapshot is None
         assert version == h.version
-        assert h.changes_since(version) == ((), (), version)
+        assert h.changes_since(version) == ((), (), None, version)
 
     def test_compaction_keeps_full_snapshot_for_new_descendants(self):
         h = History()
@@ -234,9 +235,14 @@ class TestJournal:
             h.record_delivery(msg(f"m{i}", {1}))
         h.compact_journal(h.version)
         assert h.journal_len == 0
-        vertices, edges, _ = h.changes_since(0)
-        assert {mid for mid, _ in vertices} == {"m0", "m1", "m2", "m3"}
-        assert set(edges) == {("m0", "m1"), ("m1", "m2"), ("m2", "m3")}
+        vertices, edges, snapshot, _ = h.changes_since(0)
+        assert snapshot is not None and not vertices and not edges
+        assert set(snapshot.ids) == {"m0", "m1", "m2", "m3"}
+        assert set(snapshot.iter_edges()) == {
+            ("m0", "m1"),
+            ("m1", "m2"),
+            ("m2", "m3"),
+        }
 
 
 class TestGcDiffTrackerInteraction:
@@ -319,9 +325,10 @@ class TestGcDiffTrackerInteraction:
         live = len(h) + h.num_edges
         assert h.journal_len <= HistoryDiffTracker._JOURNAL_SLACK * live + HistoryDiffTracker._JOURNAL_MIN
         assert h.journal_base > stale_watermark
-        # The lapsed descendant still converges: full live snapshot once.
+        # The lapsed descendant still converges: full live snapshot once
+        # (shipped in packed form on the cold path).
         delta = tracker.diff_for(9, h)
-        assert {v[0] for v in delta.vertices} == set(h.message_ids())
+        assert {v[0] for v in delta.iter_vertices()} == set(h.message_ids())
         assert tracker.diff_for(9, h).is_empty
 
     def test_new_descendant_after_gc_gets_only_live_history(self):
@@ -331,5 +338,5 @@ class TestGcDiffTrackerInteraction:
         victims = h.collect_garbage("m3", keep=set())
         tracker.forget(victims, history=h)
         delta = tracker.diff_for(8, h)  # brand-new descendant
-        assert {v[0] for v in delta.vertices} == {"m3"}
-        assert delta.edges == ()
+        assert {v[0] for v in delta.iter_vertices()} == {"m3"}
+        assert tuple(delta.iter_edges()) == ()

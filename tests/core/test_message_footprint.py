@@ -1,0 +1,72 @@
+"""Memory-footprint regression tests for the slotted message core.
+
+The per-``Message`` budget is the point of ``slots=True``: a history holds
+|H| of these between GC flushes and every envelope carries at least one, so
+an accidental ``__dict__`` (one stray non-slotted subclass or a removed
+``slots=True``) multiplies resident memory by several times.  These tests
+pin the structural properties rather than profiling a whole run:
+``sys.getsizeof`` of the bare object, absence of per-instance dicts across
+the envelope hierarchy, and the id interning that makes history indexes
+share one string per message id.
+"""
+
+import sys
+
+import pytest
+
+from repro.core import message as msg
+from repro.core.message import HistoryDelta, HistorySnapshot, Message
+
+#: Upper bound on the bare Message object (CPython 3.10-3.12 measures 96
+#: bytes with 10 slots; the headroom absorbs interpreter layout changes
+#: without letting a __dict__ (+56 bytes, plus the dict itself) sneak in).
+MESSAGE_SIZE_BUDGET = 120
+
+
+def sample():
+    return Message(msg_id="m1", dst=frozenset({1, 3}))
+
+
+class TestSlottedCore:
+    def test_message_fits_size_budget(self):
+        assert sys.getsizeof(sample()) <= MESSAGE_SIZE_BUDGET
+
+    def test_message_has_no_instance_dict(self):
+        with pytest.raises(AttributeError):
+            sample().__dict__
+
+    def test_message_rejects_ad_hoc_attributes(self):
+        # Protocol state must live in the protocol group, never be stashed
+        # on the shared message object (the docstring's contract); slots
+        # enforce it mechanically.
+        with pytest.raises((AttributeError, TypeError)):
+            object.__setattr__(sample(), "scratch", 1)
+
+    def test_every_envelope_class_is_slotted(self):
+        # One non-slotted subclass reintroduces __dict__ for the whole
+        # instance; sweep the module so a future envelope cannot regress.
+        classes = [
+            obj
+            for obj in vars(msg).values()
+            if isinstance(obj, type)
+            and issubclass(obj, (msg.Envelope, Message, HistoryDelta, HistorySnapshot))
+        ]
+        assert len(classes) > 10
+        for cls in classes:
+            assert "__slots__" in cls.__dict__ or not hasattr(
+                cls, "__dict__"
+            ), f"{cls.__name__} is not slotted"
+            instance_dict = getattr(cls, "__dictoffset__", 0)
+            assert instance_dict == 0, f"{cls.__name__} instances carry a __dict__"
+
+    def test_msg_ids_are_interned(self):
+        # Equal ids constructed from different string objects must collapse
+        # to one object, so |H| index entries share a single string.
+        a = Message(msg_id="inter" + "ned-id", dst=frozenset({1}))
+        b = Message(msg_id="interned" + "-id", dst=frozenset({1}))
+        assert a.msg_id is b.msg_id
+
+    def test_batch_members_are_interned_too(self):
+        members = [Message(msg_id=f"mm{i}", dst=frozenset({1})) for i in range(3)]
+        carrier = Message.batch_of(members, batch_id="b1")
+        assert carrier.members[0].msg_id is sys.intern("mm0")

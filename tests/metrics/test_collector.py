@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.metrics.collector import LatencyCollector, traffic_report
+from repro.metrics import LatencyCollector, traffic_report
 from repro.sim.network import NodeTraffic
 from repro.workload.clients import CompletedTransaction
 
@@ -81,12 +81,6 @@ class TestLatencyCollector:
         collector.record(txn(200, [20, 40]))
         cdf = collector.cdf_for_destination(1)
         assert cdf == [(10, 0.5), (20, 1.0)]
-
-    def test_summary(self):
-        collector = LatencyCollector()
-        assert collector.summary() is None
-        collector.record(txn(100, [10, 30]))
-        assert collector.summary().count == 1
 
 
 class TestTrafficReport:

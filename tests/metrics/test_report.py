@@ -1,6 +1,6 @@
 """Tests for the plain-text report formatting."""
 
-from repro.metrics.collector import NodeTrafficReport
+from repro.metrics import NodeTrafficReport
 from repro.metrics.overhead import compute_overhead
 from repro.metrics.report import (
     format_latency_comparison,

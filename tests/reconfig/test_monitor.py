@@ -1,6 +1,6 @@
 """Unit tests for the sliding-window workload monitor."""
 
-from repro.metrics.collector import LatencyCollector
+from repro.metrics import LatencyCollector
 from repro.obs import Observability
 from repro.reconfig.monitor import WorkloadMonitor
 from repro.workload.clients import CompletedTransaction

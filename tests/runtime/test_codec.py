@@ -13,6 +13,8 @@ from repro.core.message import (
     FlexCastNotif,
     FlexCastTsPropose,
     HistoryDelta,
+    HistorySnapshot,
+    HistorySnapshotFrame,
     Message,
     SkeenPropose,
     SkeenTimestamp,
@@ -143,6 +145,65 @@ class TestRoundTrips:
         decoded = round_trip(envelope)
         assert decoded == envelope
         assert decoded.message.members == tuple(members)
+
+    def test_history_snapshot_frame(self):
+        snapshot = HistorySnapshot(
+            ids=("m1", "m2", "m3"),
+            dsts=(frozenset({1}), frozenset({1, 3}), frozenset({3})),
+            edges_a=("m1", "m2"),
+            edges_b=("m2", "m3"),
+            last_delivered="m3",
+            version=5,
+        )
+        frame = HistorySnapshotFrame(
+            group=3,
+            delta=HistoryDelta(
+                vertices=(("m4", frozenset({1})),),
+                edges=(("m3", "m4"),),
+                last_delivered="m4",
+                seq=7,
+                snapshot=snapshot,
+            ),
+            epoch=2,
+        )
+        decoded = round_trip(frame)
+        assert type(decoded) is HistorySnapshotFrame
+        assert decoded == frame
+        # Installing the decoded delta must see the full logical content.
+        assert set(decoded.delta.iter_vertices()) == set(frame.delta.iter_vertices())
+        assert set(decoded.delta.iter_edges()) == {("m1", "m2"), ("m2", "m3"), ("m3", "m4")}
+
+    def test_snapshot_bearing_delta_inside_msg_envelope(self):
+        snapshot = HistorySnapshot(
+            ids=("m1",), dsts=(frozenset({1}),), last_delivered="m1", version=1
+        )
+        cold = HistoryDelta(last_delivered="m1", seq=1, snapshot=snapshot)
+        envelope = FlexCastMsg(message=sample_message(), history=cold)
+        decoded = round_trip(envelope)
+        assert decoded == envelope
+        assert decoded.history.snapshot == snapshot
+
+    def test_decoded_snapshot_ids_are_interned(self):
+        # The decode boundary interns every id so the receiving group's
+        # indexes hold pointer-identical strings.
+        snapshot = HistorySnapshot(
+            ids=("snap-vertex-1",), dsts=(frozenset({1}),), version=1
+        )
+        frame = HistorySnapshotFrame(
+            group=1, delta=HistoryDelta(seq=1, snapshot=snapshot)
+        )
+        decoded = round_trip(frame)
+        import sys as _sys
+
+        assert decoded.delta.snapshot.ids[0] is _sys.intern("snap-vertex-1")
+
+    def test_warm_delta_has_no_snapshot_key(self):
+        # Warm diffs must keep their historical byte-for-byte frame shape:
+        # the snapshot field is emitted only when set.
+        envelope = FlexCastMsg(message=sample_message(), history=sample_delta())
+        frame = encode_frame("n", envelope)
+        assert b"snapshot" not in frame
+        assert round_trip(envelope).history.snapshot is None
 
     def test_plain_message_has_no_members_key(self):
         # Pre-batching peers must keep decoding unchanged frames: ordinary

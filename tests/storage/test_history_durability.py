@@ -108,9 +108,11 @@ def test_recovered_history_serves_full_diff_to_fresh_descendants(storage):
     h.compact_journal(h.version)
     r = History.recover(storage, "g0")
     # A brand-new descendant (watermark 0 < journal_base) gets the whole
-    # live history once, exactly like after an ordinary compaction.
-    vertices, edges, version = r.changes_since(0)
-    assert {mid for mid, _ in vertices} == set(r.message_ids())
+    # live history once — as a packed snapshot — exactly like after an
+    # ordinary compaction.
+    vertices, edges, snapshot, version = r.changes_since(0)
+    assert snapshot is not None and not vertices and not edges
+    assert set(snapshot.ids) == set(r.message_ids())
     assert version == r.version
 
 
