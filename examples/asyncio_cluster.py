@@ -60,7 +60,15 @@ async def run(protocol_name: str, emulate_wan: bool) -> None:
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        epilog=(
+            "This demo runs every group in ONE process (LocalCluster).  For "
+            "N groups x M replicas as separate OS processes with per-replica "
+            "WAL durability and kill/restart supervision, use "
+            "repro.runtime.proc.ProcessCluster — see docs/OPERATIONS.md."
+        ),
+    )
     parser.add_argument("--protocol", default="flexcast",
                         choices=["flexcast", "flexcast-hybrid", "hierarchical", "distributed"])
     parser.add_argument("--emulate-wan", action="store_true",

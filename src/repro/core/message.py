@@ -380,6 +380,27 @@ class ClientResponse(Envelope):
         return _HEADER_BYTES + _MSG_ID_BYTES + _GROUP_ID_BYTES
 
 
+@dataclass(frozen=True, slots=True)
+class NodeHello:
+    """Node -> server: register my network address before first use.
+
+    Transport-level, **not** an :class:`Envelope`: it must never be ordered
+    through a group's log — a receiving server registers the address in its
+    address book and drops the frame.  The process-cluster runtime
+    (:mod:`repro.runtime.proc`) uses it so clients spawned after the static
+    address book was computed can still receive :class:`ClientResponse`
+    frames.
+    """
+
+    node_id: str
+    host: str
+    port: int
+    kind: str = field(default="node-hello", init=False)
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + _MSG_ID_BYTES + 18
+
+
 #: One piggybacked Skeen proposal: ``(proposing group, local timestamp)``.
 TsProposal = Tuple[GroupId, int]
 _TS_PROPOSAL_BYTES = _GROUP_ID_BYTES + _TIMESTAMP_BYTES

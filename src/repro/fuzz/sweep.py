@@ -132,7 +132,15 @@ def run_sweep(
 
 # ------------------------------------------------------------------------ CLI
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = argparse.ArgumentParser(description="FlexCast fuzz sweep")
+    parser = argparse.ArgumentParser(
+        description="FlexCast fuzz sweep",
+        epilog=(
+            "Fuzzing runs in the deterministic simulator.  The same "
+            "crash-restart invariants are exercised against real OS "
+            "processes by the multi-process runtime and its soak benchmark "
+            "(benchmarks/run_soak.py) — see docs/OPERATIONS.md."
+        ),
+    )
     parser.add_argument("--seeds", type=int, default=50, help="number of seeds")
     parser.add_argument("--seed-base", type=int, default=0)
     parser.add_argument(

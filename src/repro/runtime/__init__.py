@@ -10,17 +10,27 @@ destination's response).  Frames are length-prefixed JSON
 protocol-facing :class:`~repro.sim.transport.Transport` interface to
 sockets, so the protocol classes themselves are byte-for-byte the ones the
 simulator runs.
+
+For deployments beyond one process, :class:`ProcessCluster`
+(:mod:`~repro.runtime.proc`) supervises N groups × M replicas as separate
+OS processes with per-replica WAL durability and an HTTP admin plane —
+see ``docs/OPERATIONS.md``.
 """
 
 from .client import AsyncMulticastClient
 from .cluster import LocalCluster
 from .codec import CodecError, decode_frame, encode_frame, read_frame
-from .node import GroupServer
+from .node import FrameServer, GroupServer
+from .proc import ClusterSpec, ProcessCluster, ReplicaServer
 from .transport import AddressBook, AsyncioTransport
 
 __all__ = [
     "AsyncMulticastClient",
     "LocalCluster",
+    "ClusterSpec",
+    "ProcessCluster",
+    "ReplicaServer",
+    "FrameServer",
     "CodecError",
     "decode_frame",
     "encode_frame",

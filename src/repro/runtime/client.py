@@ -28,12 +28,18 @@ class AsyncMulticastClient:
         addresses: AddressBook,
         host: str = "127.0.0.1",
         port: int = 0,
+        pool: bool = False,
     ) -> None:
         self.client_id = client_id
         self._protocol = protocol
         self.host = host
         self.port = port
-        self.transport = AsyncioTransport(node_id=client_id, addresses=addresses)
+        # ``pool=True`` keeps one persistent connection per destination —
+        # what the soak harness needs to push millions of frames without
+        # drowning in TCP handshakes (see AsyncioTransport).
+        self.transport = AsyncioTransport(
+            node_id=client_id, addresses=addresses, pool=pool
+        )
         self._server: Optional[asyncio.AbstractServer] = None
         #: msg_id -> (expected destination count, responses received, done event)
         self._waiting: Dict[str, Tuple[int, Dict[GroupId, float], asyncio.Event]] = {}
@@ -51,6 +57,7 @@ class AsyncMulticastClient:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        await self.transport.aclose()
 
     async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         try:

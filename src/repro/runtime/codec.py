@@ -16,6 +16,14 @@ import sys
 from typing import Any, Dict, Tuple
 
 from ..core import message as msg
+from ..smr.multipaxos import (
+    CatchupReply,
+    CatchupRequest,
+    ClientCommand,
+    Commit,
+    Heartbeat,
+)
+from ..smr.paxos import Accept, Accepted, Ballot, Nack, Prepare, Promise
 
 #: 4-byte big-endian length prefix.
 _LENGTH = struct.Struct(">I")
@@ -117,6 +125,27 @@ def _delta_from_dict(d: Dict[str, Any]) -> msg.HistoryDelta:
         seq=d.get("seq"),
         snapshot=_snapshot_from_dict(snapshot) if snapshot is not None else None,
     )
+
+
+# ---------------------------------------------------------------- SMR values
+# SMR frames carry log *values*: OrderedEnvelope wrappers around protocol
+# envelopes (the process-cluster runtime), or plain JSON-able commands
+# (tests).  The wrapper's own wire form lives in repro.smr.replica; the
+# import is lazy because that module imports this codec inside functions.
+def _smr_value_to_wire(value: Any) -> Any:
+    from ..smr.replica import _entry_to_wire
+
+    return _entry_to_wire(value)
+
+
+def _smr_value_from_wire(wire: Any) -> Any:
+    from ..smr.replica import _entry_from_wire
+
+    return _entry_from_wire(wire)
+
+
+def _ballot_to_list(ballot: Ballot) -> list:
+    return [ballot.round, ballot.proposer]
 
 
 # ------------------------------------------------------------------- envelopes
@@ -238,6 +267,87 @@ def _encode_envelope(envelope: Any) -> Dict[str, Any]:
             "message": _message_to_dict(envelope.message),
             "sequence": envelope.sequence,
         }
+    if isinstance(envelope, msg.NodeHello):
+        return {
+            "type": "node-hello",
+            "node_id": envelope.node_id,
+            "host": envelope.host,
+            "port": envelope.port,
+        }
+    # SMR / Paxos frames: the process-cluster runtime replicates each group
+    # over real TCP, so the intra-group consensus traffic must survive the
+    # wire too.  Ballots travel as [round, proposer] pairs; log values go
+    # through the OrderedEnvelope wire form (repro.smr.replica).
+    if isinstance(envelope, ClientCommand):
+        return {"type": "smr-command", "payload": _smr_value_to_wire(envelope.payload)}
+    if isinstance(envelope, Commit):
+        return {
+            "type": "smr-commit",
+            "instance": envelope.instance,
+            "value": _smr_value_to_wire(envelope.value),
+        }
+    if isinstance(envelope, Heartbeat):
+        return {"type": "smr-heartbeat", "leader": envelope.leader}
+    if isinstance(envelope, CatchupRequest):
+        return {
+            "type": "smr-catchup",
+            "from_instance": envelope.from_instance,
+            "from_replica": envelope.from_replica,
+        }
+    if isinstance(envelope, CatchupReply):
+        return {
+            "type": "smr-catchup-reply",
+            "entries": [
+                [instance, _smr_value_to_wire(value)]
+                for instance, value in envelope.entries
+            ],
+        }
+    if isinstance(envelope, Prepare):
+        return {
+            "type": "paxos-prepare",
+            "instance": envelope.instance,
+            "ballot": _ballot_to_list(envelope.ballot),
+        }
+    if isinstance(envelope, Promise):
+        return {
+            "type": "paxos-promise",
+            "instance": envelope.instance,
+            "ballot": _ballot_to_list(envelope.ballot),
+            "accepted_ballot": (
+                _ballot_to_list(envelope.accepted_ballot)
+                if envelope.accepted_ballot is not None
+                else None
+            ),
+            "accepted_value": (
+                _smr_value_to_wire(envelope.accepted_value)
+                if envelope.accepted_value is not None
+                else None
+            ),
+            "from_replica": envelope.from_replica,
+        }
+    if isinstance(envelope, Accept):
+        return {
+            "type": "paxos-accept",
+            "instance": envelope.instance,
+            "ballot": _ballot_to_list(envelope.ballot),
+            "value": _smr_value_to_wire(envelope.value),
+        }
+    if isinstance(envelope, Accepted):
+        return {
+            "type": "paxos-accepted",
+            "instance": envelope.instance,
+            "ballot": _ballot_to_list(envelope.ballot),
+            "value": _smr_value_to_wire(envelope.value),
+            "from_replica": envelope.from_replica,
+        }
+    if isinstance(envelope, Nack):
+        return {
+            "type": "paxos-nack",
+            "instance": envelope.instance,
+            "ballot": _ballot_to_list(envelope.ballot),
+            "promised": _ballot_to_list(envelope.promised),
+            "from_replica": envelope.from_replica,
+        }
     raise CodecError(f"cannot encode envelope of type {type(envelope).__name__}")
 
 
@@ -340,6 +450,67 @@ def _decode_envelope(data: Dict[str, Any]) -> Any:
     if env_type == "tree-forward":
         return msg.TreeForward(
             message=_message_from_dict(data["message"]), sequence=data["sequence"]
+        )
+    if env_type == "node-hello":
+        return msg.NodeHello(
+            node_id=data["node_id"], host=data["host"], port=data["port"]
+        )
+    if env_type == "smr-command":
+        return ClientCommand(payload=_smr_value_from_wire(data["payload"]))
+    if env_type == "smr-commit":
+        return Commit(
+            instance=data["instance"], value=_smr_value_from_wire(data["value"])
+        )
+    if env_type == "smr-heartbeat":
+        return Heartbeat(leader=data["leader"])
+    if env_type == "smr-catchup":
+        return CatchupRequest(
+            from_instance=data["from_instance"], from_replica=data["from_replica"]
+        )
+    if env_type == "smr-catchup-reply":
+        return CatchupReply(
+            entries=tuple(
+                (instance, _smr_value_from_wire(value))
+                for instance, value in data.get("entries", [])
+            )
+        )
+    if env_type == "paxos-prepare":
+        return Prepare(instance=data["instance"], ballot=Ballot(*data["ballot"]))
+    if env_type == "paxos-promise":
+        accepted_ballot = data.get("accepted_ballot")
+        accepted_value = data.get("accepted_value")
+        return Promise(
+            instance=data["instance"],
+            ballot=Ballot(*data["ballot"]),
+            accepted_ballot=(
+                Ballot(*accepted_ballot) if accepted_ballot is not None else None
+            ),
+            accepted_value=(
+                _smr_value_from_wire(accepted_value)
+                if accepted_value is not None
+                else None
+            ),
+            from_replica=data["from_replica"],
+        )
+    if env_type == "paxos-accept":
+        return Accept(
+            instance=data["instance"],
+            ballot=Ballot(*data["ballot"]),
+            value=_smr_value_from_wire(data["value"]),
+        )
+    if env_type == "paxos-accepted":
+        return Accepted(
+            instance=data["instance"],
+            ballot=Ballot(*data["ballot"]),
+            value=_smr_value_from_wire(data["value"]),
+            from_replica=data["from_replica"],
+        )
+    if env_type == "paxos-nack":
+        return Nack(
+            instance=data["instance"],
+            ballot=Ballot(*data["ballot"]),
+            promised=Ballot(*data["promised"]),
+            from_replica=data["from_replica"],
         )
     raise CodecError(f"cannot decode envelope type {env_type!r}")
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
-from ..core.message import ClientResponse, Message
+from ..core.message import ClientResponse, Message, NodeHello
 from ..obs import Observability
 from ..overlay.base import GroupId
 from ..protocols.base import AtomicMulticastProtocol
@@ -17,8 +17,131 @@ from .transport import AddressBook, AsyncioTransport
 #: traffic can collide with the scrape detection.
 _HTTP_GET = b"GET "
 
+#: An HTTP response triple: (status line, body, content type).
+HttpResponse = Tuple[bytes, bytes, bytes]
 
-class GroupServer:
+
+class FrameServer:
+    """Shared TCP front end: length-prefixed frames + HTTP on one port.
+
+    Both runtime server flavours — :class:`GroupServer` (one process per
+    *group*) and :class:`~repro.runtime.proc.ReplicaServer` (one process per
+    *replica*) — accept the same two kinds of traffic on a single port:
+
+    * wire frames (:mod:`repro.runtime.codec`), fed to :meth:`handle_frame`
+      one by one for as long as the peer keeps the connection open (so both
+      ephemeral and pooled transports work against it); and
+    * plain HTTP ``GET`` requests, answered by :meth:`handle_http` —
+      ``/metrics`` scrapes, readiness probes, and (for the process runtime)
+      the supervisor's admin plane.
+
+    The first four bytes of every connection decide which it is.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self.frames_received = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        # Established connections (pooled transports hold theirs open for the
+        # server's whole life); stop() must close them or handlers linger.
+        self._conn_writers: set = set()
+
+    # --------------------------------------------------------------- lifecycle
+    async def start(self) -> Tuple[str, int]:
+        """Start listening; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._conn_writers):
+            writer.close()
+        self._conn_writers.clear()
+
+    # ------------------------------------------------------------------ hooks
+    def handle_frame(self, sender: Hashable, envelope: Any) -> None:
+        """Process one decoded wire frame (override)."""
+        raise NotImplementedError
+
+    def handle_http(self, path: str) -> HttpResponse:
+        """Answer one HTTP GET for ``path`` (override for extra endpoints).
+
+        ``path`` includes any query string; the base class serves ``/ready``
+        (200 once the server listens — by construction, if this runs the
+        socket is accepting).
+        """
+        if path.split("?", 1)[0] == "/ready":
+            return b"200 OK", b"ready\n", b"text/plain; charset=utf-8"
+        return (
+            b"404 Not Found",
+            b"not found\n",
+            b"text/plain; charset=utf-8",
+        )
+
+    # ------------------------------------------------------------ connections
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._conn_writers.add(writer)
+        try:
+            # Peek at the first 4 bytes: an HTTP GET (scrape/probe/admin) or
+            # the length prefix of the first frame.
+            try:
+                probe = await reader.readexactly(len(_HTTP_GET))
+            except asyncio.IncompleteReadError:
+                return
+            if probe == _HTTP_GET:
+                await self._serve_http(reader, writer)
+                return
+            preread = probe
+            while True:
+                try:
+                    sender, envelope = await read_frame(reader, preread=preread)
+                except (asyncio.IncompleteReadError, CodecError):
+                    break
+                preread = b""
+                self.frames_received += 1
+                self.handle_frame(sender, envelope)
+        finally:
+            self._conn_writers.discard(writer)
+            writer.close()
+
+    async def _serve_http(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        """Answer one HTTP request and close.
+
+        Minimal by design: HTTP/1.0 semantics, no keep-alive — enough for
+        ``curl``, a Prometheus scraper, and the process supervisor.
+        """
+        request = _HTTP_GET  # the probe already consumed these bytes
+        try:
+            while b"\r\n\r\n" not in request and len(request) < 65536:
+                chunk = await asyncio.wait_for(reader.read(1024), timeout=5.0)
+                if not chunk:
+                    break
+                request += chunk
+        except asyncio.TimeoutError:
+            pass
+        parts = request.split(b"\r\n", 1)[0].split(b" ")
+        path = parts[1].decode("latin-1", "replace") if len(parts) >= 2 else "/"
+        status, body, ctype = self.handle_http(path)
+        writer.write(
+            b"HTTP/1.0 " + status + b"\r\nContent-Type: " + ctype
+            + b"\r\nContent-Length: " + str(len(body)).encode("ascii")
+            + b"\r\nConnection: close\r\n\r\n" + body
+        )
+        await writer.drain()
+
+
+class GroupServer(FrameServer):
     """One group of any atomic multicast protocol, served over TCP.
 
     The server accepts frames from clients and from other groups, feeds them
@@ -49,9 +172,8 @@ class GroupServer:
         storage: Optional[Any] = None,
         obs: Optional[Observability] = None,
     ) -> None:
+        super().__init__(host=host, port=port)
         self.group_id = group_id
-        self.host = host
-        self.port = port
         self._on_deliver = on_deliver
         self.transport = AsyncioTransport(
             node_id=group_id, addresses=addresses, latencies=latencies, sites=sites
@@ -64,9 +186,7 @@ class GroupServer:
             self.recovered_deliveries = attach_group_storage(
                 self.group, storage, name=f"group-{group_id}"
             )
-        self._server: Optional[asyncio.AbstractServer] = None
         self.delivered: list = []
-        self.frames_received = 0
         self.obs: Optional[Observability] = None
         if obs is not None:
             self.attach_obs(obs)
@@ -97,77 +217,39 @@ class GroupServer:
     # ----------------------------------------------------------------- server
     async def start(self) -> Tuple[str, int]:
         """Start listening; returns the bound (host, port)."""
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
-        )
-        sockname = self._server.sockets[0].getsockname()
-        self.host, self.port = sockname[0], sockname[1]
-        self.transport.register_address(self.group_id, self.host, self.port)
-        return self.host, self.port
+        host, port = await super().start()
+        self.transport.register_address(self.group_id, host, port)
+        return host, port
 
     async def stop(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        await super().stop()
+        await self.transport.aclose()
 
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        try:
-            # Peek at the first 4 bytes: an HTTP GET (scrape) or the length
-            # prefix of the first frame.
-            try:
-                probe = await reader.readexactly(len(_HTTP_GET))
-            except asyncio.IncompleteReadError:
-                return
-            if probe == _HTTP_GET:
-                await self._serve_http(reader, writer)
-                return
-            preread = probe
-            while True:
-                try:
-                    sender, envelope = await read_frame(reader, preread=preread)
-                except (asyncio.IncompleteReadError, CodecError):
-                    break
-                preread = b""
-                self.frames_received += 1
-                self.group.on_envelope(sender, envelope)
-        finally:
-            writer.close()
+    # ------------------------------------------------------------------ hooks
+    def handle_frame(self, sender: Hashable, envelope: Any) -> None:
+        if isinstance(envelope, NodeHello):
+            # Transport-level address announcement (late-joining clients):
+            # register and drop — it must never reach the protocol.
+            self.transport.register_address(
+                envelope.node_id, envelope.host, envelope.port
+            )
+            return
+        self.group.on_envelope(sender, envelope)
 
-    async def _serve_http(self, reader: asyncio.StreamReader,
-                          writer: asyncio.StreamWriter) -> None:
-        """Answer one HTTP request (``GET /metrics``) and close.
-
-        Minimal by design: HTTP/1.0 semantics, no keep-alive — enough for
-        ``curl`` and a Prometheus scraper.
-        """
-        request = _HTTP_GET  # the probe already consumed these bytes
-        try:
-            while b"\r\n\r\n" not in request and len(request) < 65536:
-                chunk = await asyncio.wait_for(reader.read(1024), timeout=5.0)
-                if not chunk:
-                    break
-                request += chunk
-        except asyncio.TimeoutError:
-            pass
-        parts = request.split(b"\r\n", 1)[0].split(b" ")
-        path = parts[1].decode("latin-1", "replace") if len(parts) >= 2 else "/"
-        if path == "/metrics" and self.obs is not None:
-            status = b"200 OK"
-            body = self.obs.registry.render_prometheus().encode("utf-8")
-            ctype = b"text/plain; version=0.0.4; charset=utf-8"
-        else:
-            status = b"404 Not Found"
-            body = b"not found (is observability attached?)\n"
-            ctype = b"text/plain; charset=utf-8"
-        writer.write(
-            b"HTTP/1.0 " + status + b"\r\nContent-Type: " + ctype
-            + b"\r\nContent-Length: " + str(len(body)).encode("ascii")
-            + b"\r\nConnection: close\r\n\r\n" + body
-        )
-        await writer.drain()
+    def handle_http(self, path: str) -> HttpResponse:
+        if path.split("?", 1)[0] == "/metrics":
+            if self.obs is None:
+                return (
+                    b"404 Not Found",
+                    b"not found (is observability attached?)\n",
+                    b"text/plain; charset=utf-8",
+                )
+            return (
+                b"200 OK",
+                self.obs.registry.render_prometheus().encode("utf-8"),
+                b"text/plain; version=0.0.4; charset=utf-8",
+            )
+        return super().handle_http(path)
 
     # --------------------------------------------------------------- delivery
     def _sink(self, group_id: GroupId, message: Message) -> None:

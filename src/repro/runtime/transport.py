@@ -28,11 +28,19 @@ AddressBook = Dict[Hashable, Tuple[str, int]]
 class AsyncioTransport(Transport):
     """Outbound half of a runtime node.
 
-    Each ``send`` opens a short-lived TCP connection to the destination node,
-    writes one frame, and closes.  This trades throughput for simplicity and
-    robustness (no connection state machine), which is the right trade-off for
-    examples and integration tests; the simulator remains the tool for
-    performance numbers.
+    By default each ``send`` opens a short-lived TCP connection to the
+    destination node, writes one frame, and closes.  This trades throughput
+    for simplicity and robustness (no connection state machine), which is the
+    right trade-off for examples and integration tests.
+
+    With ``pool=True`` the transport keeps one persistent connection per
+    destination and writes frames down it under a per-destination lock (the
+    receiving frame server already loops over frames on one connection).  A
+    stale pooled connection — the peer restarted, or an idle socket was
+    reset — is dropped and the send retried once on a fresh connection before
+    it counts as failed.  The process-cluster soak harness needs this: at
+    ~5 frames per message, 1M messages through ephemeral connections would
+    spend most of their time in TCP handshakes and TIME_WAIT exhaustion.
     """
 
     def __init__(
@@ -42,6 +50,7 @@ class AsyncioTransport(Transport):
         loop: Optional[asyncio.AbstractEventLoop] = None,
         latencies: Optional[LatencyMatrix] = None,
         sites: Optional[Dict[Hashable, int]] = None,
+        pool: bool = False,
     ) -> None:
         self._node_id = node_id
         # Kept by reference on purpose: the cluster's address book is shared so
@@ -50,6 +59,14 @@ class AsyncioTransport(Transport):
         self._loop = loop
         self._latencies = latencies
         self._sites = sites or {}
+        self._pool_enabled = pool
+        # Keyed by (host, port), not by destination id: many logical node
+        # ids can share one physical endpoint (e.g. thousands of simulated
+        # soak clients answering on one driver port), and they must share
+        # one connection, not exhaust file descriptors.
+        self._pool: Dict[Tuple[str, int], asyncio.StreamWriter] = {}
+        self._pool_locks: Dict[Tuple[str, int], asyncio.Lock] = {}
+        self._pool_watchers: Dict[Tuple[str, int], asyncio.Task] = {}
         self.sent_frames = 0
         self.failed_sends = 0
 
@@ -90,6 +107,9 @@ class AsyncioTransport(Transport):
     async def _deliver(self, dst: Hashable, frame: bytes, delay: float) -> None:
         if delay > 0:
             await asyncio.sleep(delay)
+        if self._pool_enabled:
+            await self._deliver_pooled(dst, frame)
+            return
         host, port = self._addresses[dst]
         try:
             _, writer = await asyncio.open_connection(host, port)
@@ -106,6 +126,82 @@ class AsyncioTransport(Transport):
                 await writer.wait_closed()
             except OSError:  # pragma: no cover - platform dependent
                 pass
+
+    async def _deliver_pooled(self, dst: Hashable, frame: bytes) -> None:
+        # One frame in flight per endpoint: the lock keeps interleaved
+        # sends from corrupting the stream, and serialises the open/retry
+        # dance so two racing sends cannot both open a connection.
+        addr = self._addresses[dst]
+        lock = self._pool_locks.setdefault(addr, asyncio.Lock())
+        async with lock:
+            for attempt in (0, 1):
+                writer = self._pool.get(addr)
+                if writer is None:
+                    try:
+                        reader, writer = await asyncio.open_connection(*addr)
+                    except OSError:
+                        self.failed_sends += 1
+                        return
+                    self._pool[addr] = writer
+                    # The peer never writes back on this pipe, so any read
+                    # completing means EOF/reset: evict the stale socket now
+                    # rather than on the next send's write failure (which TCP
+                    # often surfaces one write too late, losing a frame).
+                    self._pool_watchers[addr] = asyncio.get_running_loop().create_task(
+                        self._watch_eof(addr, reader, writer)
+                    )
+                try:
+                    writer.write(frame)
+                    await writer.drain()
+                    self.sent_frames += 1
+                    return
+                except (OSError, ConnectionError):
+                    # Stale connection (peer restarted / idle reset): drop it
+                    # and retry once on a fresh one.
+                    self._evict(addr, writer)
+                    await self._close_writer(writer)
+                    if attempt == 1:
+                        self.failed_sends += 1
+
+    def _evict(self, addr: Tuple[str, int], writer: asyncio.StreamWriter) -> None:
+        if self._pool.get(addr) is writer:
+            del self._pool[addr]
+        watcher = self._pool_watchers.pop(addr, None)
+        if watcher is not None and watcher is not asyncio.current_task():
+            watcher.cancel()
+
+    async def _watch_eof(
+        self,
+        addr: Tuple[str, int],
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while await reader.read(65536):
+                pass  # inbound bytes on an outbound pipe are ignored
+        except OSError:
+            pass
+        except asyncio.CancelledError:
+            return
+        self._evict(addr, writer)
+        await self._close_writer(writer)
+
+    @staticmethod
+    async def _close_writer(writer: asyncio.StreamWriter) -> None:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except OSError:  # pragma: no cover - platform dependent
+            pass
+
+    async def aclose(self) -> None:
+        """Close every pooled connection (no-op for the ephemeral mode)."""
+        watchers, self._pool_watchers = list(self._pool_watchers.values()), {}
+        for watcher in watchers:
+            watcher.cancel()
+        writers, self._pool = list(self._pool.values()), {}
+        for writer in writers:
+            await self._close_writer(writer)
 
     def now(self) -> float:
         """Wall-clock milliseconds (monotonic), matching the simulator's unit."""

@@ -82,6 +82,14 @@ class CatchupRequest:
         return 32
 
 
+# Decisions per CatchupReply.  A rejoining replica that lapsed for hundreds
+# of thousands of instances must not receive them as one message: over the
+# wire transport a single reply would exceed the frame-size cap.  Chunks are
+# applied independently (``_learn`` is idempotent and order-tolerant), so
+# losing one chunk degrades to a smaller catch-up, never a corrupt one.
+CATCHUP_CHUNK = 2048
+
+
 @dataclass(frozen=True)
 class CatchupReply:
     """Peer -> rejoining replica: the requested ``(instance, value)`` decisions."""
@@ -363,7 +371,11 @@ class MultiPaxosReplica:
             if entries:
                 self.stats["catchup_served"] += 1
                 self.stats["catchup_entries_sent"] += len(entries)
-                self.transport.send(message.from_replica, CatchupReply(entries=entries))
+                for start in range(0, len(entries), CATCHUP_CHUNK):
+                    self.transport.send(
+                        message.from_replica,
+                        CatchupReply(entries=entries[start:start + CATCHUP_CHUNK]),
+                    )
         elif isinstance(message, CatchupReply):
             self.stats["catchup_entries_applied"] += len(message.entries)
             for instance, value in message.entries:

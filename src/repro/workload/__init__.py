@@ -7,9 +7,15 @@ warehouses per region, locality rate, transaction mix), which samples
 profiles in :mod:`~repro.workload.tpcc`; :class:`ClosedLoopClient` drives
 them against a deployed protocol with a bounded number of outstanding
 multicasts.
+
+:mod:`~repro.workload.soak` drives the multi-process runtime at scale:
+thousands of logical closed-loop clients through one batching ingress
+against a real :class:`~repro.runtime.proc.ProcessCluster`, with a full
+end-to-end oracle (``benchmarks/run_soak.py`` is the CLI).
 """
 
-from .clients import ClosedLoopClient, CompletedTransaction
+from .clients import BoundedResubmitter, ClosedLoopClient, CompletedTransaction
+from .soak import SoakConfig, SoakHarness, run_soak
 from .gtpcc import GTPCCConfig, GTPCCWorkload, Transaction
 from .tpcc import (
     GLOBAL_ONLY_MIX,
@@ -27,8 +33,12 @@ from .tpcc import (
 )
 
 __all__ = [
+    "BoundedResubmitter",
     "ClosedLoopClient",
     "CompletedTransaction",
+    "SoakConfig",
+    "SoakHarness",
+    "run_soak",
     "GTPCCConfig",
     "GTPCCWorkload",
     "Transaction",

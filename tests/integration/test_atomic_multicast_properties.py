@@ -142,3 +142,38 @@ class TestHypothesisDrivenOrdering:
             )
         loop.run_until_idle()
         check_trace(sink, messages, expect_all_delivered=True).raise_if_failed()
+
+    @pytest.mark.xfail(
+        reason=(
+            "known open item (ROADMAP): three messages whose pairs each share "
+            "exactly ONE group get their pairwise orders decided at three "
+            "independent groups, which can close a 3-cycle the pivot guard "
+            "never sees (h-8 < h-3 at group 4, h-3 < h-5 at group 5, "
+            "h-5 < h-8 at group 3)"
+        ),
+        strict=False,
+    )
+    def test_single_shared_group_three_cycle_counterexample(self):
+        """Deterministic replay of a hypothesis-found acyclic-order violation."""
+        destinations = [
+            {0, 1}, {0, 1}, {0, 1}, {2, 4, 5}, {0, 5},
+            {3, 5}, {0, 1}, {0, 1}, {1, 3, 4},
+        ]
+        seed = 0
+        protocol = FlexCastProtocol(build_o1(LATENCIES))
+        loop, network, groups, sink = deploy(protocol, seed=seed)
+        network.register("client", site=0, handler=lambda s, p: None)
+        messages = []
+        rng = random.Random(seed)
+        for i, dst in enumerate(destinations):
+            message = Message.create(dst, sender="client", msg_id=f"h{seed}-{i}")
+            messages.append(message)
+            entry = protocol.entry_groups(message)[0]
+            loop.schedule(
+                rng.uniform(0, 200.0),
+                lambda entry=entry, message=message: network.send(
+                    "client", entry, ClientRequest(message=message)
+                ),
+            )
+        loop.run_until_idle()
+        check_trace(sink, messages, expect_all_delivered=True).raise_if_failed()

@@ -280,3 +280,86 @@ class TestErrors:
 
         (length,) = struct.unpack(">I", frame[:4])
         assert length == len(frame) - 4
+
+
+class TestSmrRoundTrips:
+    """The process-cluster runtime replicates groups over TCP: every
+    multi-Paxos frame (and the transport-level NodeHello) must survive the
+    wire with log values carried through the OrderedEnvelope wire form."""
+
+    def _ordered(self):
+        from repro.smr.replica import OrderedEnvelope
+
+        return OrderedEnvelope(
+            sender="client-7", envelope=ClientRequest(message=sample_message())
+        )
+
+    def test_node_hello(self):
+        from repro.core.message import NodeHello
+
+        decoded = round_trip(NodeHello(node_id="soak-client-3",
+                                       host="127.0.0.1", port=45123))
+        assert decoded == NodeHello(node_id="soak-client-3",
+                                    host="127.0.0.1", port=45123)
+
+    def test_client_command_and_commit(self):
+        from repro.smr.multipaxos import ClientCommand, Commit
+
+        entry = self._ordered()
+        assert round_trip(ClientCommand(payload=entry)) == ClientCommand(payload=entry)
+        assert round_trip(Commit(instance=7, value=entry)) == Commit(
+            instance=7, value=entry
+        )
+
+    def test_plain_values_pass_through(self):
+        # Tests submit plain JSON-able commands; they must not be wrapped.
+        from repro.smr.multipaxos import Commit
+
+        assert round_trip(Commit(instance=0, value="cmd-a")) == Commit(
+            instance=0, value="cmd-a"
+        )
+
+    def test_heartbeat_and_catchup(self):
+        from repro.smr.multipaxos import CatchupReply, CatchupRequest, Heartbeat
+
+        entry = self._ordered()
+        assert round_trip(Heartbeat(leader="group-0-replica-0")).leader == (
+            "group-0-replica-0"
+        )
+        request = CatchupRequest(from_instance=3, from_replica="group-0-replica-2")
+        assert round_trip(request) == request
+        reply = CatchupReply(entries=((1, entry), (2, "plain")))
+        assert round_trip(reply) == reply
+
+    def test_paxos_phases(self):
+        from repro.smr.paxos import (
+            Accept,
+            Accepted,
+            Ballot,
+            Nack,
+            Prepare,
+            Promise,
+            ZERO_BALLOT,
+        )
+
+        entry = self._ordered()
+        ballot = Ballot(2, 1)
+        assert round_trip(Prepare(instance=1, ballot=ballot)) == Prepare(
+            instance=1, ballot=ballot
+        )
+        # A fresh promise reports the ZERO_BALLOT sentinel and no value.
+        fresh = Promise(instance=1, ballot=ballot, accepted_ballot=ZERO_BALLOT,
+                        accepted_value=None, from_replica="group-0-replica-1")
+        assert round_trip(fresh) == fresh
+        # A promise forced by an earlier accept carries the old value.
+        forced = Promise(instance=1, ballot=ballot, accepted_ballot=Ballot(1, 0),
+                         accepted_value=entry, from_replica="group-0-replica-1")
+        assert round_trip(forced) == forced
+        accept = Accept(instance=1, ballot=ballot, value=entry)
+        assert round_trip(accept) == accept
+        accepted = Accepted(instance=1, ballot=ballot, value=entry,
+                            from_replica="group-0-replica-2")
+        assert round_trip(accepted) == accepted
+        nack = Nack(instance=1, ballot=ballot, promised=Ballot(3, 0),
+                    from_replica="group-0-replica-2")
+        assert round_trip(nack) == nack
