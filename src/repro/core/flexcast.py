@@ -38,6 +38,33 @@ timestamp-free protocol.  See DESIGN.md "hybrid Skeen-timestamp ordering
 authority" for the argument and the overhead trade-off (the paper's convoy
 effect, §5).
 
+Between the two sit **conflict-scoped order claims** (``conflict_shapes``):
+plain mode's answer to the *single-shared-group 3-cycle*.  Three messages
+whose pairs each intersect in exactly one group get their three pairwise
+orders decided at three independent groups, and no down-flowing history can
+relate those decisions in time — the pivot guard never even sees the race
+(DESIGN.md "anatomy of the single-shared-group 3-cycle").  Given a declared
+universe of destination-set shapes, shapes that share groups form *conflict
+components*, and a component containing some pair that intersects in exactly
+one group is **hot**.  Every global message addressed into a hot component
+is *exposed*: it acquires a final Skeen timestamp exactly like hybrid mode
+(the order claim, arbitrated by the same
+:class:`~repro.core.timestamps.TimestampAuthority` and piggybacked on the
+existing msg/ack traffic), and its deliveries follow ``(final timestamp,
+id)`` order at every group, with the authority subsuming the pivot guard for
+it just as in hybrid mode.  Exposing the whole component — not only the
+single-intersecting shapes — is load-bearing: a timestamp edge between a
+single-shared pair must never be composable with guard-ordered
+(two-plus-shared) edges into a cycle, and bounded model exploration
+(``repro.fuzz.explore``) found exactly that composition when exposure
+stopped at the single-intersecting shapes themselves.  Component closure
+removes every mixed pair wholesale: groups of different components are
+disjoint, so two messages that meet at any group are either both
+claim-ordered (their edge embeds in the global timestamp order) or both
+guard-ordered (the covered class the pivot guard already handles).
+Workloads whose declared shapes admit no single-shared pair anywhere get
+``ts = None`` and run bit-identical to the classic protocol.
+
 Also on top of the paper's protocol: **batch carriers**.  A client may
 coalesce same-destination submissions into one ordering unit
 (:meth:`~repro.core.message.Message.batch_of`, shipped as a
@@ -100,6 +127,42 @@ from .timestamps import TimestampAuthority
 _NO_NOTIFIED: frozenset = frozenset()
 
 
+def _hot_conflict_groups(shapes: Sequence[frozenset]) -> frozenset:
+    """Union of the groups of every *hot* conflict component.
+
+    Declared shapes are nodes of a graph with an edge wherever two shapes
+    share a group; a connected component is hot when some pair inside it
+    intersects in exactly one group (the 3-cycle conflict class).  Groups of
+    different components are disjoint by construction, so membership of a
+    destination set in a hot component reduces to intersecting the returned
+    group set.
+    """
+    # Union-find keyed by group id: shapes sharing a group merge their roots.
+    parent: Dict[GroupId, GroupId] = {}
+
+    def find(g: GroupId) -> GroupId:
+        while parent[g] != g:
+            parent[g] = parent[parent[g]]
+            g = parent[g]
+        return g
+
+    for shape in shapes:
+        anchor = None
+        for g in shape:
+            parent.setdefault(g, g)
+            if anchor is None:
+                anchor = find(g)
+            else:
+                parent[find(g)] = anchor
+    hot_roots = {
+        find(next(iter(a & b)))
+        for i, a in enumerate(shapes)
+        for b in shapes[i:]
+        if len(a & b) == 1
+    }
+    return frozenset(g for g in parent if find(g) in hot_roots)
+
+
 @dataclass(slots=True)
 class PendingMessage:
     """Per-group protocol state about a not-yet-delivered multicast message.
@@ -157,6 +220,7 @@ class FlexCastGroup(AtomicMulticastGroup):
         sink: DeliverySink,
         pivot_guard: bool = True,
         hybrid: bool = False,
+        conflict_shapes: Optional[Sequence[Set[GroupId]]] = None,
     ) -> None:
         super().__init__(group_id, transport, sink)
         self.overlay = overlay
@@ -164,13 +228,42 @@ class FlexCastGroup(AtomicMulticastGroup):
         #: ``False`` reverts to the seed's unguarded behaviour — kept only so
         #: regression schedules can demonstrate the lost-delivery bug they pin.
         self.pivot_guard = pivot_guard
-        #: Hybrid Skeen-timestamp ordering authority (None = hybrid off).
-        #: When on, every global message this group is a destination of
-        #: acquires a final timestamp from all its destinations, and the
-        #: delivery gate orders contested messages by ``(final ts, id)``
-        #: instead of waiting out (or escaping) contradictory pivots.
+        #: Full hybrid mode: *every* global message is timestamp-ordered and
+        #: the authority subsumes the pivot guard entirely.
+        self.hybrid = hybrid
+        #: Conflict-scoped order claims (module docstring): the declared
+        #: universe of global destination-set shapes this deployment admits.
+        #: Shapes connected by shared groups form *conflict components*; a
+        #: component containing a pair that intersects in exactly one group
+        #: is **hot**, and every global message addressed into a hot
+        #: component is *exposed* — claim-ordered through the timestamp
+        #: authority.  The closure over whole components is what makes the
+        #: claims sound: a single-shared-group timestamp edge must not be
+        #: composable with guard-ordered (two-plus-shared) edges into a
+        #: cycle, and component closure removes every mixed pair — each
+        #: group belongs to at most one component, so two messages that
+        #: meet anywhere are either both exposed or both guard-ordered.
+        #: ``None``/empty disables the machinery; local (single-group)
+        #: shapes never count.  Ignored in hybrid mode, which timestamps
+        #: everything anyway.
+        shapes = tuple(
+            frozenset(s) for s in (conflict_shapes or ()) if len(frozenset(s)) > 1
+        )
+        if not hybrid and shapes:
+            self.conflict_shapes: Tuple[frozenset, ...] = shapes
+            self._hot_groups: frozenset = _hot_conflict_groups(shapes)
+        else:
+            self.conflict_shapes = ()
+            self._hot_groups = frozenset()
+        #: Skeen-timestamp ordering authority (None = no timestamping at
+        #: all).  Hybrid mode routes every global message through it; order
+        #: claims route only the hot conflict components — when no declared
+        #: pair can single-intersect, there is no authority and the code
+        #: path is bit-identical to the claim-free protocol.
         self.ts: Optional[TimestampAuthority] = (
-            TimestampAuthority(group_id) if hybrid else None
+            TimestampAuthority(group_id)
+            if hybrid or self._hot_groups
+            else None
         )
         self.history = History()
         #: Messages delivered at this group (``deliveredInG``).
@@ -684,7 +777,7 @@ class FlexCastGroup(AtomicMulticastGroup):
         re-routes, bounces and duplicated envelopes never mint a second
         proposal.
         """
-        if self.ts is None or not message.is_global:
+        if not self._timestamped(message):
             return
         if self.has_delivered(message.msg_id) or self.history.is_forgotten(
             message.msg_id
@@ -745,8 +838,21 @@ class FlexCastGroup(AtomicMulticastGroup):
             self._mark_all_queues_dirty()
 
     def _timestamped(self, message: Message) -> bool:
-        """True iff ``message`` is ordered by the hybrid timestamp authority."""
-        return self.ts is not None and message.is_global
+        """True iff ``message`` is ordered by the timestamp authority —
+        every global message in hybrid mode, exposed shapes under order
+        claims (module docstring)."""
+        if self.ts is None or not message.is_global:
+            return False
+        return self.hybrid or self._exposed(message.dst)
+
+    def _exposed(self, dst: frozenset) -> bool:
+        """Order claims: ``dst`` lands in a hot conflict component.
+
+        Pure in ``dst``, symmetric, and transitively closed: every message
+        that can meet an exposed message at some group is itself exposed
+        (hot components own their groups outright), so timestamp edges and
+        guard edges can never mix into one cycle."""
+        return bool(dst & self._hot_groups)
 
     def _enqueue_local(self, message: Message) -> None:
         """Queue a client-submitted message at its lca and drain.
@@ -860,7 +966,7 @@ class FlexCastGroup(AtomicMulticastGroup):
                     del queue[index]
                     break
         self.send_descendants(message, ack=(self.lca_of(message) != self.group_id))
-        if self.ts is not None and message.is_global:
+        if self._timestamped(message):
             # Retire the timestamp entry only after the outgoing msg/ack
             # envelopes were built, so they still piggyback the full
             # proposal set for destinations that missed a direct proposal.
@@ -984,7 +1090,7 @@ class FlexCastGroup(AtomicMulticastGroup):
         while dirty:
             lca = dirty.pop()
             queue = self.queues.get(lca)
-            if self.ts is not None:
+            if self.ts is not None and (self.hybrid or self.ts.pending_count()):
                 # Hybrid: the timestamp order may invert the FIFO arrival
                 # order within a queue (a later arrival can hold a smaller
                 # final timestamp), so a blocked head must not wall off a
@@ -1049,10 +1155,10 @@ class FlexCastGroup(AtomicMulticastGroup):
     def _guard_only_blocked(self, message: Message) -> bool:
         """True iff only the pivot guard holds ``message`` back."""
         if self._timestamped(message):
-            # Hybrid: timestamped messages never wait on the guard (the
-            # authority orders them), so no escape timer is ever needed —
-            # a timestamp block resolves on the next proposal arrival or
-            # smaller-timestamp delivery, both ordinary events.
+            # Timestamped messages never wait on the guard (the authority
+            # subsumes it — see :meth:`can_deliver`), so no escape timer is
+            # ever needed: a timestamp block resolves on the next proposal
+            # arrival or smaller-timestamp delivery, both ordinary events.
             return False
         return (
             self._acks_satisfied(message)
@@ -1130,14 +1236,19 @@ class FlexCastGroup(AtomicMulticastGroup):
         if not self._dependencies_satisfied(message.msg_id):
             return False
         if self._timestamped(message):
-            # Hybrid: the timestamp authority subsumes the pivot guard for
-            # global messages.  The convoy gate delivers contested messages
-            # in ``(final ts, id)`` order — a *global* total order — so any
-            # ordering this delivery mints is consistent everywhere and the
-            # guard's concern (a new pre-pivot ordering closing a cycle)
-            # cannot materialise.  Contradictory pivot waits, which the
-            # non-hybrid protocol can only escape heuristically, are broken
-            # by the timestamp tie instead.
+            # The timestamp authority subsumes the pivot guard for
+            # timestamped messages — every global message in hybrid mode,
+            # the hot conflict components under order claims.  The convoy
+            # gate delivers contested messages in ``(final ts, id)`` order —
+            # a *global* total order — so any ordering this delivery mints
+            # is consistent everywhere and the guard's concern (a new
+            # pre-pivot ordering closing a cycle) cannot materialise.
+            # Contradictory pivot waits, which the guarded protocol can
+            # only escape heuristically, are broken by the timestamp tie
+            # instead.  Under claims this is sound precisely because
+            # exposure is component-closed: an exposed message never meets
+            # a guard-ordered one at any group, so skipping the guard here
+            # cannot invalidate a guard promise about a mixed pair.
             return self._ts_gate_allows(message)
         return self._pivot_guard_allows(message.msg_id)
 
@@ -1238,7 +1349,7 @@ class FlexCastGroup(AtomicMulticastGroup):
                 satisfied = False
                 break
             queue.extend(predecessors.get(node, ()))
-        if not satisfied and self.ts is None:
+        if not satisfied and not self.hybrid:
             # Poison tolerance: a blocking "predecessor" that is *also* a
             # descendant of the candidate sits in a delivery cycle with it —
             # a merged delta carried an upstream acyclic-order violation this
@@ -1402,6 +1513,7 @@ class FlexCastProtocol(AtomicMulticastProtocol):
         overlay: CDagOverlay,
         pivot_guard: bool = True,
         hybrid: bool = False,
+        conflict_shapes: Optional[Sequence[Set[GroupId]]] = None,
     ) -> None:
         if not isinstance(overlay, CDagOverlay):
             raise TypeError("FlexCast requires a complete-DAG overlay")
@@ -1410,6 +1522,17 @@ class FlexCastProtocol(AtomicMulticastProtocol):
         #: Hybrid Skeen-timestamp ordering authority for global messages
         #: (see the module docstring); every group must agree on this flag.
         self.hybrid = hybrid
+        #: Declared destination-set universe for conflict-scoped order
+        #: claims (module docstring).  Every group must agree on it —
+        #: exposure is a pure function of a message's shape, so agreement
+        #: makes claim decisions consistent deployment-wide.  The
+        #: declaration must cover every global destination set the workload
+        #: can submit (the fuzz harness derives it from the scenario).
+        self.conflict_shapes = (
+            tuple(frozenset(s) for s in conflict_shapes)
+            if conflict_shapes is not None
+            else None
+        )
 
     def create_group(
         self, group_id: GroupId, transport: Transport, sink: DeliverySink
@@ -1421,6 +1544,7 @@ class FlexCastProtocol(AtomicMulticastProtocol):
             sink,
             pivot_guard=self.pivot_guard,
             hybrid=self.hybrid,
+            conflict_shapes=self.conflict_shapes,
         )
 
     def entry_groups(self, message: Message) -> List[GroupId]:

@@ -1,8 +1,27 @@
-"""``python -m repro.fuzz`` — run the scenario-sweep CLI."""
+"""``python -m repro.fuzz`` — fuzz CLIs.
+
+* ``python -m repro.fuzz [sweep] ...`` — randomized scenario sweep
+  (:mod:`repro.fuzz.sweep`); the subcommand word is optional for backward
+  compatibility with existing invocations.
+* ``python -m repro.fuzz explore ...`` — bounded-exhaustive schedule
+  exploration of small destination-set shapes (:mod:`repro.fuzz.explore`).
+"""
 
 import sys
 
-from .sweep import main
+
+def main(argv=None):
+    args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] == "explore":
+        from .explore import main as explore_main
+
+        return explore_main(args[1:])
+    if args and args[0] == "sweep":
+        args = args[1:]
+    from .sweep import main as sweep_main
+
+    return sweep_main(args)
+
 
 if __name__ == "__main__":
     sys.exit(main())

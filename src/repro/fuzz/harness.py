@@ -81,6 +81,12 @@ class FuzzResult:
     timestamp authority makes global acyclic order a guaranteed property, so
     an acyclic-order finding is a genuine violation and stays in
     :attr:`violations` (``finalize_buckets(strict=True)``).
+
+    Since the conflict-scoped **order claims** closed the single-shared-group
+    3-cycle, the same is true for guarded plain-mode runs (the harness
+    default): the anomaly bucket only survives for explicitly legacy runs —
+    ``order_claims=False`` or ``pivot_guard=False`` — which regression
+    schedules use to demonstrate the holes the fixes close.
     """
 
     scenario: FuzzScenario
@@ -175,6 +181,7 @@ def run_scenario(
     hybrid: Optional[bool] = None,
     use_batching_client: bool = False,
     obs: Optional[Observability] = None,
+    order_claims: Optional[bool] = None,
 ) -> FuzzResult:
     """Execute ``scenario`` deterministically and return the checked result.
 
@@ -189,12 +196,24 @@ def run_scenario(
     per-message lifecycle trace behind (the sweep dumps it next to a shrunk
     failing schedule).  Timestamps are virtual simulator milliseconds, so a
     trace is as deterministic as the run itself.
+
+    ``order_claims`` controls the conflict-scoped order claims that close
+    plain mode's single-shared-group 3-cycle: ``None`` (the default) enables
+    them for every guarded non-hybrid run — the harness derives the declared
+    shape universe from the scenario's own destination sets — making
+    ``acyclic-order`` a *hard* property for plain mode; ``False`` reverts to
+    the legacy claim-free protocol (regression schedules use it to
+    demonstrate the 3-cycle the claims close).
     """
     if hybrid is None:
         hybrid = scenario.hybrid
+    if order_claims is None:
+        order_claims = pivot_guard and not hybrid
     if scenario.replication_factor > 1:
         return _run_replicated(scenario, pivot_guard, hybrid, obs)
-    return _run_flexcast(scenario, pivot_guard, hybrid, use_batching_client, obs)
+    return _run_flexcast(
+        scenario, pivot_guard, hybrid, use_batching_client, obs, order_claims
+    )
 
 
 # ----------------------------------------------------------- batch atomicity
@@ -291,12 +310,25 @@ def _check_leaks(
 
 
 # ------------------------------------------------------------------ flexcast
+def scenario_conflict_shapes(scenario: FuzzScenario) -> Tuple[frozenset, ...]:
+    """The declared destination-shape universe for order claims: every
+    global destination set the scenario can submit, plus the all-groups
+    shape used by GC flushes and epoch barriers."""
+    shapes = {frozenset(sub.dst) for sub in scenario.submissions}
+    shapes.add(frozenset(scenario.order))
+    return tuple(sorted(
+        (s for s in shapes if len(s) > 1),
+        key=lambda s: sorted(map(str, s)),
+    ))
+
+
 def _run_flexcast(
     scenario: FuzzScenario,
     pivot_guard: bool,
     hybrid: bool,
     use_batching_client: bool = False,
     obs: Optional[Observability] = None,
+    order_claims: bool = False,
 ) -> FuzzResult:
     loop = EventLoop()
     latencies = _latency_matrix(scenario)
@@ -305,12 +337,23 @@ def _run_flexcast(
     )
     overlay = CDagOverlay(list(scenario.order))
     reconfigurable = bool(scenario.reconfigs)
+    conflict_shapes = (
+        scenario_conflict_shapes(scenario) if order_claims and not hybrid else None
+    )
     if reconfigurable:
         protocol = ReconfigurableFlexCastProtocol(
-            overlay, pivot_guard=pivot_guard, hybrid=hybrid
+            overlay,
+            pivot_guard=pivot_guard,
+            hybrid=hybrid,
+            conflict_shapes=conflict_shapes,
         )
     else:
-        protocol = FlexCastProtocol(overlay, pivot_guard=pivot_guard, hybrid=hybrid)
+        protocol = FlexCastProtocol(
+            overlay,
+            pivot_guard=pivot_guard,
+            hybrid=hybrid,
+            conflict_shapes=conflict_shapes,
+        )
 
     sink = RecordingSink(clock=lambda: loop.now)
     groups: Dict[GroupId, object] = {}
@@ -445,7 +488,7 @@ def _run_flexcast(
         epoch_report = check_epochs(delivery_epochs, barriers=coordinator.barriers)
         result.violations.extend(str(v) for v in epoch_report.violations)
 
-    result.finalize_buckets(strict=hybrid)
+    result.finalize_buckets(strict=hybrid or order_claims)
     return result
 
 

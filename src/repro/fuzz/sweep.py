@@ -62,6 +62,7 @@ def run_sweep(
     progress=None,
     hybrid: Optional[bool] = None,
     batch_window: Optional[int] = None,
+    order_claims: Optional[bool] = None,
 ) -> SweepSummary:
     """Run every ``(seed, profile)`` scenario; shrink and collect failures.
 
@@ -70,6 +71,9 @@ def run_sweep(
     ``False`` forces it off, ``None`` follows each scenario's own flag.
     ``batch_window`` likewise forces the client-side batching window for
     every run (``1`` = unbatched); ``None`` follows each scenario.
+    ``order_claims=None`` (the default) keeps the harness rule — claims on
+    for every guarded plain run, making acyclic-order a hard failure there
+    too; ``False`` is the legacy-comparison axis.
     """
     for profile in profiles:
         if profile not in PROFILES:
@@ -87,7 +91,9 @@ def run_sweep(
                 scenario = replace(scenario, hybrid=hybrid)
             if batch_window is not None:
                 scenario = replace(scenario, batch_window=batch_window)
-            result = run_scenario(scenario, pivot_guard=pivot_guard)
+            result = run_scenario(
+                scenario, pivot_guard=pivot_guard, order_claims=order_claims
+            )
             summary.runs += 1
             if result.strict_ok:
                 summary.clean += 1
@@ -102,7 +108,9 @@ def run_sweep(
                     # so one finding cannot blow a CI time cap.  Probes past
                     # the deadline report "not failing", which stops the
                     # reduction quickly and keeps the best scenario so far.
-                    base_fails = default_predicate(pivot_guard)
+                    base_fails = default_predicate(
+                        pivot_guard, order_claims=order_claims
+                    )
                     if time_cap_s is not None:
                         deadline = started + time_cap_s
                         if time.monotonic() >= deadline:
@@ -179,6 +187,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="force the client-side batching window to N for every run "
         "(1 = unbatched; default: follow each scenario's batch_window)",
     )
+    parser.add_argument(
+        "--no-claims",
+        dest="order_claims",
+        action="store_false",
+        default=None,
+        help="disable the conflict-scoped order claims for every run "
+        "(legacy-comparison axis; acyclic-order findings become reported "
+        "anomalies again instead of hard failures)",
+    )
     parser.add_argument("--replay", default=None, help="replay one schedule JSON")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
@@ -186,7 +203,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.replay:
         scenario = FuzzScenario.load(args.replay)
         result = run_scenario(
-            scenario, pivot_guard=not args.unguarded, hybrid=args.hybrid
+            scenario,
+            pivot_guard=not args.unguarded,
+            hybrid=args.hybrid,
+            order_claims=args.order_claims,
         )
         print(
             f"replayed {scenario.name}: submitted={result.submitted} "
@@ -225,6 +245,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         progress=progress,
         hybrid=args.hybrid,
         batch_window=args.batch_window,
+        order_claims=args.order_claims,
     )
     print(
         f"\nsweep: {summary.clean}/{summary.runs} clean, "
@@ -250,6 +271,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 pivot_guard=not args.unguarded,
                 hybrid=args.hybrid,
                 obs=obs,
+                order_claims=args.order_claims,
             )
             trace_path = out / f"trace-{scenario.name}-{index}.json"
             obs.tracer.dump_json(trace_path)

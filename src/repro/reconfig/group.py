@@ -23,7 +23,7 @@ group-side half of the epoch state machine (the coordinator side lives in
 
 from __future__ import annotations
 
-from typing import Hashable, List, Tuple
+from typing import Hashable, List, Optional, Sequence, Set, Tuple
 
 from ..core.flexcast import FlexCastGroup, FlexCastProtocol
 from ..core.message import (
@@ -66,9 +66,16 @@ class ReconfigurableFlexCastGroup(FlexCastGroup):
         sink: DeliverySink,
         pivot_guard: bool = True,
         hybrid: bool = False,
+        conflict_shapes: Optional[Sequence[Set[GroupId]]] = None,
     ) -> None:
         super().__init__(
-            group_id, overlay, transport, sink, pivot_guard=pivot_guard, hybrid=hybrid
+            group_id,
+            overlay,
+            transport,
+            sink,
+            pivot_guard=pivot_guard,
+            hybrid=hybrid,
+            conflict_shapes=conflict_shapes,
         )
         #: True between EpochPrepare and EpochSwitch (client intake parked).
         self.quiescing = False
@@ -259,6 +266,7 @@ class ReconfigurableFlexCastProtocol(FlexCastProtocol):
             sink,
             pivot_guard=self.pivot_guard,
             hybrid=self.hybrid,
+            conflict_shapes=self.conflict_shapes,
         )
 
     def install_overlay(self, overlay: CDagOverlay) -> None:

@@ -2,13 +2,25 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.core.message import reset_message_ids
 from repro.overlay.builders import standard_overlays
 from repro.sim.latencies import aws_latency_matrix
+
+# Hypothesis example budgets.  Tests that pin their own @settings are
+# unaffected; tests that don't (the single-shared-group strategy suite)
+# scale with the profile — nightly CI exports HYPOTHESIS_PROFILE=nightly
+# for a 10x longer adversarial search.
+hypothesis_settings.register_profile("ci", max_examples=15, deadline=None)
+hypothesis_settings.register_profile(
+    "nightly", max_examples=150, deadline=None
+)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 @pytest.fixture(autouse=True)

@@ -143,29 +143,25 @@ class TestHypothesisDrivenOrdering:
         loop.run_until_idle()
         check_trace(sink, messages, expect_all_delivered=True).raise_if_failed()
 
-    @pytest.mark.xfail(
-        reason=(
-            "known open item (ROADMAP): three messages whose pairs each share "
-            "exactly ONE group get their pairwise orders decided at three "
-            "independent groups, which can close a 3-cycle the pivot guard "
-            "never sees (h-8 < h-3 at group 4, h-3 < h-5 at group 5, "
-            "h-5 < h-8 at group 3)"
-        ),
-        strict=False,
-    )
-    def test_single_shared_group_three_cycle_counterexample(self):
-        """Deterministic replay of a hypothesis-found acyclic-order violation."""
-        destinations = [
-            {0, 1}, {0, 1}, {0, 1}, {2, 4, 5}, {0, 5},
-            {3, 5}, {0, 1}, {0, 1}, {1, 3, 4},
-        ]
+    #: The hypothesis-found witness (PR 9): three messages whose pairs each
+    #: share exactly ONE group get their pairwise orders decided at three
+    #: independent groups, which closed a 3-cycle the pivot guard never saw
+    #: (h-8 < h-3 at group 4, h-3 < h-5 at group 5, h-5 < h-8 at group 3).
+    THREE_CYCLE_DESTINATIONS = [
+        {0, 1}, {0, 1}, {0, 1}, {2, 4, 5}, {0, 5},
+        {3, 5}, {0, 1}, {0, 1}, {1, 3, 4},
+    ]
+
+    def _run_three_cycle_witness(self, conflict_shapes):
         seed = 0
-        protocol = FlexCastProtocol(build_o1(LATENCIES))
+        protocol = FlexCastProtocol(
+            build_o1(LATENCIES), conflict_shapes=conflict_shapes
+        )
         loop, network, groups, sink = deploy(protocol, seed=seed)
         network.register("client", site=0, handler=lambda s, p: None)
         messages = []
         rng = random.Random(seed)
-        for i, dst in enumerate(destinations):
+        for i, dst in enumerate(self.THREE_CYCLE_DESTINATIONS):
             message = Message.create(dst, sender="client", msg_id=f"h{seed}-{i}")
             messages.append(message)
             entry = protocol.entry_groups(message)[0]
@@ -176,4 +172,17 @@ class TestHypothesisDrivenOrdering:
                 ),
             )
         loop.run_until_idle()
-        check_trace(sink, messages, expect_all_delivered=True).raise_if_failed()
+        return check_trace(sink, messages, expect_all_delivered=True)
+
+    def test_single_shared_group_three_cycle_counterexample(self):
+        """Deterministic replay of a hypothesis-found acyclic-order violation,
+        closed by the conflict-scoped order claims (ISSUE 10; was xfail)."""
+        shapes = [frozenset(d) for d in self.THREE_CYCLE_DESTINATIONS]
+        self._run_three_cycle_witness(shapes).raise_if_failed()
+
+    def test_three_cycle_witness_still_fails_without_order_claims(self):
+        """The same schedule on the claim-free protocol still closes the
+        cycle — pinning that the hole was real and the claims fix it."""
+        report = self._run_three_cycle_witness(None)
+        assert not report.ok
+        assert any("[acyclic-order]" in str(v) for v in report.violations)

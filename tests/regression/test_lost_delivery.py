@@ -15,10 +15,12 @@ fixed protocol.
 The full schedule doubles as the gate for the hybrid Skeen-timestamp
 ordering authority (ISSUE 4): the committed JSON pins ``hybrid: true``, under
 which the run must be *strictly* clean — zero violations **and** zero
-acyclic-order anomalies.  With hybrid forced off, the same schedule still
-exhibits the documented residual anomaly of the down-only c-DAG information
-flow (never a lost/duplicated/misordered-per-pair delivery), which pins both
-that the hole is real and that the authority is what closes it.
+acyclic-order anomalies.  With hybrid *and* the conflict-scoped order claims
+(ISSUE 10) both forced off, the same schedule still exhibits the residual
+anomaly of the down-only c-DAG information flow (never a
+lost/duplicated/misordered-per-pair delivery), which pins both that the hole
+is real and that an ordering authority is what closes it; guarded plain mode
+with claims on passes strictly, like hybrid.
 """
 
 from pathlib import Path
@@ -77,16 +79,26 @@ class TestFullInventorySchedule:
         # Every transfer reaches both endpoints (the original bug lost 4).
         assert result.delivered == sum(len(s.dst) for s in full.submissions)
 
-    def test_residual_anomaly_without_hybrid(self, full):
+    def test_strictly_clean_in_plain_mode_with_order_claims(self, full):
+        # Since the conflict-scoped order claims (ISSUE 10) closed the
+        # single-shared-group 3-cycle, guarded plain mode passes this
+        # schedule strictly too — the inventory residual anomaly was the
+        # same conflict class the claims arbitrate.
         result = run_scenario(full, hybrid=False)
-        # Guaranteed properties still hold without the authority...
+        assert result.strict_ok, result.violations + result.ordering_anomalies
+        assert result.delivered == sum(len(s.dst) for s in full.submissions)
+
+    def test_residual_anomaly_without_hybrid_or_claims(self, full):
+        result = run_scenario(full, hybrid=False, order_claims=False)
+        # Guaranteed properties still hold without either authority...
         assert result.ok, result.violations
         assert result.delivered == sum(len(s.dst) for s in full.submissions)
         # ...but the down-only information flow leaves the documented
         # acyclic-order hole this schedule was committed to reproduce.
         assert result.ordering_anomalies, (
-            "expected the known acyclic-order anomaly with hybrid off; "
-            "if the base protocol now closes it, fold this into DESIGN.md"
+            "expected the known acyclic-order anomaly with hybrid and "
+            "order claims both off; if the base protocol now closes it, "
+            "fold this into DESIGN.md"
         )
 
     def test_shrunk_is_much_smaller_than_full(self, shrunk, full):

@@ -1,0 +1,63 @@
+"""Regression: the single-shared-group 3-cycle schedule (ISSUE 10).
+
+The committed JSON is the ddmin-shrunk form of the hypothesis-found witness
+from PR 9: three messages whose destination sets pairwise-intersect in
+exactly *one* group get their three pairwise orders decided at three
+independent groups, which closes a global delivery cycle
+(``h0-8 < h0-3 < h0-5 < h0-8``) that the pivot guard never observes — the
+order of each pair is forced the moment its shared group delivers the pair's
+first element, before that group has heard of the second.
+
+``order_claims=False`` reverts to the claim-free protocol, so the schedule
+still demonstrably fails there; on the fixed protocol (conflict-scoped order
+claims, the harness default for guarded plain runs) it must be *strictly*
+clean — plain-mode ``acyclic-order`` is a hard property now.  Hybrid mode
+was never affected (final timestamps order everything) and stays clean too.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import FuzzScenario, run_scenario
+
+SCHEDULES = Path(__file__).parent / "schedules"
+
+
+@pytest.fixture(scope="module")
+def shrunk():
+    return FuzzScenario.load(SCHEDULES / "single_shared_group_3cycle.json")
+
+
+class TestSingleSharedGroupCycleSchedule:
+    def test_fails_without_order_claims(self, shrunk):
+        result = run_scenario(shrunk, order_claims=False)
+        assert not result.strict_ok
+        assert any(
+            "[acyclic-order]" in v
+            for v in result.violations + result.ordering_anomalies
+        )
+        # The legacy hole never loses a delivery — poison tolerance turns
+        # the cycle into a detected anomaly, not a deadlock.
+        assert result.ok, result.violations
+        assert result.delivered == sum(len(s.dst) for s in shrunk.submissions)
+
+    def test_passes_on_fixed_plain_protocol(self, shrunk):
+        result = run_scenario(shrunk)
+        assert result.strict_ok, result.violations + result.ordering_anomalies
+        assert result.delivered == sum(len(s.dst) for s in shrunk.submissions)
+
+    def test_passes_on_hybrid_protocol(self, shrunk):
+        result = run_scenario(shrunk, hybrid=True)
+        assert result.strict_ok, result.violations + result.ordering_anomalies
+        assert result.delivered == sum(len(s.dst) for s in shrunk.submissions)
+
+    def test_schedule_is_single_shared_group_shaped(self, shrunk):
+        """The committed shape class: some pair of destination sets
+        intersects in exactly one group (what exposes it to the claims)."""
+        shapes = [set(s.dst) for s in shrunk.submissions if len(s.dst) > 1]
+        assert any(
+            len(a & b) == 1
+            for i, a in enumerate(shapes)
+            for b in shapes[i + 1 :]
+        )
